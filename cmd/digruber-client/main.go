@@ -1,0 +1,98 @@
+// Command digruber-client is a submission-host GRUBER client: it asks a
+// running digruber-broker for site recommendations, one query per job,
+// and prints the decisions.
+//
+//	digruber-client -broker 127.0.0.1:7000 -owner atlas.higgs -jobs 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"digruber/internal/digruber"
+	"digruber/internal/grid"
+	"digruber/internal/netsim"
+	"digruber/internal/usla"
+	"digruber/internal/vtime"
+	"digruber/internal/wire"
+)
+
+func main() {
+	var (
+		broker       = flag.String("broker", "127.0.0.1:7000", "broker TCP address")
+		brokerName   = flag.String("broker-name", "dp-0", "broker name (for reports)")
+		name         = flag.String("name", "client-0", "submission host name")
+		owner        = flag.String("owner", "atlas", "consumer path: vo[.group[.user]]")
+		cpus         = flag.Int("cpus", 1, "CPUs per job")
+		runtime      = flag.Duration("runtime", 15*time.Minute, "declared job runtime")
+		jobs         = flag.Int("jobs", 1, "number of jobs to schedule")
+		interarrival = flag.Duration("interarrival", time.Second, "pause between jobs")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request timeout before random fallback")
+		fallback     = flag.String("fallback", "", "comma-separated site names for timeout fallback")
+	)
+	flag.Parse()
+
+	ownerPath, err := usla.ParsePath(*owner)
+	if err != nil {
+		fatal(err)
+	}
+	var fallbackSites []string
+	if *fallback != "" {
+		fallbackSites = strings.Split(*fallback, ",")
+	}
+
+	client, err := digruber.NewClient(digruber.ClientConfig{
+		Name:          *name,
+		Node:          *name,
+		DPName:        *brokerName,
+		DPNode:        *brokerName,
+		DPAddr:        *broker,
+		Transport:     wire.TCP{},
+		Clock:         vtime.NewReal(),
+		Timeout:       *timeout,
+		FallbackSites: fallbackSites,
+		RNG:           netsim.Stream(time.Now().UnixNano(), "client/"+*name),
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer client.Close()
+
+	handled := 0
+	for i := 0; i < *jobs; i++ {
+		job := &grid.Job{
+			ID:         grid.JobID(fmt.Sprintf("%s-job-%04d", *name, i)),
+			Owner:      ownerPath,
+			CPUs:       *cpus,
+			Runtime:    *runtime,
+			SubmitHost: *name,
+		}
+		dec := client.Schedule(job)
+		status := "handled"
+		if !dec.Handled {
+			status = "fallback"
+		}
+		if dec.Err != nil {
+			fmt.Printf("%s: ERROR %v (response %s)\n", job.ID, dec.Err, dec.Response.Round(time.Millisecond))
+		} else {
+			fmt.Printf("%s: site=%s %s response=%s\n",
+				job.ID, dec.Site, status, dec.Response.Round(time.Millisecond))
+		}
+		if dec.Handled {
+			handled++
+		}
+		if i < *jobs-1 {
+			time.Sleep(*interarrival)
+		}
+	}
+	fmt.Printf("scheduled %d jobs, %d handled by broker (%.0f%%)\n",
+		*jobs, handled, float64(handled)/float64(*jobs)*100)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "digruber-client:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,130 @@
+// Command diperf load-tests a running digruber-broker the way the
+// paper's DiPerF deployment tested DI-GRUBER on PlanetLab: a fleet of
+// tester clients ramps up slowly, each performing full scheduling
+// operations (query + dispatch report) against the broker, and the
+// collector prints the figure — load, response time and throughput
+// curves plus the summary strip.
+//
+//	diperf -target 127.0.0.1:7000 -testers 30 -duration 2m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"digruber/internal/digruber"
+	"digruber/internal/diperf"
+	"digruber/internal/grid"
+	"digruber/internal/grubsim"
+	"digruber/internal/netsim"
+	"digruber/internal/usla"
+	"digruber/internal/vtime"
+	"digruber/internal/wire"
+)
+
+func main() {
+	var (
+		target       = flag.String("target", "127.0.0.1:7000", "broker TCP address")
+		targetName   = flag.String("target-name", "dp-0", "broker name")
+		testers      = flag.Int("testers", 20, "tester fleet size")
+		duration     = flag.Duration("duration", time.Minute, "test duration")
+		interarrival = flag.Duration("interarrival", time.Second, "per-tester pause between ops")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-op timeout")
+		window       = flag.Duration("window", 10*time.Second, "aggregation window")
+		owner        = flag.String("owner", "atlas", "consumer path for the synthetic jobs")
+		runtime      = flag.Duration("runtime", 15*time.Minute, "declared job runtime")
+		traceOut     = flag.String("trace-out", "", "record the arrival trace as JSON (replayable by cmd/grubsim -trace)")
+	)
+	flag.Parse()
+
+	ownerPath, err := usla.ParsePath(*owner)
+	if err != nil {
+		fatal(err)
+	}
+	clock := vtime.NewReal()
+	clients := make([]*digruber.Client, *testers)
+	for i := range clients {
+		c, err := digruber.NewClient(digruber.ClientConfig{
+			Name:      fmt.Sprintf("tester-%03d", i),
+			Node:      fmt.Sprintf("tester-%03d", i),
+			DPName:    *targetName,
+			DPNode:    *targetName,
+			DPAddr:    *target,
+			Transport: wire.TCP{},
+			Clock:     clock,
+			Timeout:   *timeout,
+			// Fallback is irrelevant for pure load testing but must be
+			// non-empty for graceful degradation accounting.
+			FallbackSites: []string{"fallback-site"},
+			RNG:           netsim.Stream(int64(i), "diperf.tester"),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	stagger := time.Duration(0)
+	if *testers > 1 {
+		stagger = *duration / 3 / time.Duration(*testers-1)
+	}
+	seqBase := time.Now().UnixNano()
+	start := time.Now()
+	var traceMu sync.Mutex
+	var trace grubsim.Trace
+	res, err := diperf.Run(diperf.Config{
+		Testers:      *testers,
+		Stagger:      stagger,
+		Interarrival: *interarrival,
+		Duration:     *duration,
+		Window:       *window,
+		Clock:        clock,
+	}, func(t, seq int) diperf.OpResult {
+		if *traceOut != "" {
+			traceMu.Lock()
+			trace = append(trace, grubsim.Arrival{At: time.Since(start), Client: t})
+			traceMu.Unlock()
+		}
+		job := &grid.Job{
+			ID:         grid.JobID(fmt.Sprintf("diperf-%d-t%03d-%05d", seqBase, t, seq)),
+			Owner:      ownerPath,
+			CPUs:       1,
+			Runtime:    *runtime,
+			SubmitHost: fmt.Sprintf("tester-%03d", t),
+		}
+		dec := clients[t].Schedule(job)
+		return diperf.OpResult{Handled: dec.Handled, Err: dec.Err}
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.SummaryLine())
+	fmt.Println()
+	fmt.Println(res.Render())
+
+	if *traceOut != "" {
+		trace.Sort()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("recorded %d arrivals to %s\n", len(trace), *traceOut)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "diperf:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation. See EXPERIMENTS.md for the per-experiment mapping.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig5,tab1
+//	experiments -run all -scale full
+//
+// The bench scale (default) shrinks the emulated environment so the
+// whole suite finishes in minutes; -scale full reproduces the paper's
+// environment (300 sites / 30,000 CPUs / ~120 clients / one-hour runs,
+// time-compressed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"digruber/internal/exp"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list experiments and exit")
+		run   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		scale = flag.String("scale", "bench", "bench or full")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Experiments() {
+			fmt.Printf("%-24s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var sc exp.Scale
+	switch *scale {
+	case "bench":
+		sc = exp.BenchScale()
+	case "full":
+		sc = exp.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want bench or full)\n", *scale)
+		os.Exit(2)
+	}
+
+	var selected []exp.Experiment
+	if *run == "all" {
+		selected = exp.Experiments()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := exp.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		fmt.Printf("### %s — %s (scale=%s)\n", e.ID, e.Title, sc.Name)
+		report, err := e.Run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(report)
+		fmt.Printf("[%s completed in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

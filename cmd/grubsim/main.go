@@ -1,0 +1,117 @@
+// Command grubsim runs the GRUB-SIM discrete-event simulator: static
+// deployments, dynamic decision-point provisioning, or full parameter
+// sweeps, all exactly reproducible from a seed.
+//
+//	grubsim -preset gt3 -dps 1 -dynamic
+//	grubsim -clients 200 -service 800ms -workers 4 -dps 3 -duration 30m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"digruber/internal/grubsim"
+)
+
+func main() {
+	var (
+		preset       = flag.String("preset", "", "gt3 or gt4 (overrides service/workers/clients)")
+		dps          = flag.Int("dps", 1, "initial decision points")
+		clients      = flag.Int("clients", 120, "closed-loop clients")
+		service      = flag.Duration("service", 800*time.Millisecond, "mean per-request service time")
+		sigma        = flag.Float64("sigma", 0.3, "service time log-normal sigma")
+		workers      = flag.Int("workers", 4, "workers per decision point")
+		wan          = flag.Duration("wan", 60*time.Millisecond, "mean one-way WAN latency")
+		interarrival = flag.Duration("interarrival", 5*time.Second, "client pause between ops")
+		timeout      = flag.Duration("timeout", 30*time.Second, "client timeout")
+		duration     = flag.Duration("duration", time.Hour, "simulated span")
+		dynamic      = flag.Bool("dynamic", false, "enable dynamic provisioning (Section 5)")
+		bound        = flag.Duration("bound", 0, "response bound for provisioning (0 = preset/default)")
+		seed         = flag.Int64("seed", 1, "RNG seed")
+		curves       = flag.Bool("curves", false, "print per-window response/throughput curves")
+		trace        = flag.String("trace", "", "replay a recorded arrival trace (JSON) instead of closed-loop clients")
+	)
+	flag.Parse()
+
+	var p grubsim.Params
+	switch strings.ToLower(*preset) {
+	case "gt3":
+		p = grubsim.GT3Params(*dps)
+	case "gt4":
+		p = grubsim.GT4Params(*dps)
+	case "":
+		p = grubsim.Params{
+			Seed:         *seed,
+			ServiceMean:  *service,
+			ServiceSigma: *sigma,
+			Workers:      *workers,
+			WANLatency:   *wan,
+			WANSigma:     0.4,
+			Clients:      *clients,
+			Interarrival: *interarrival,
+			Timeout:      *timeout,
+			Duration:     *duration,
+			InitialDPs:   *dps,
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "grubsim: unknown preset %q\n", *preset)
+		os.Exit(2)
+	}
+	p.Seed = *seed
+	p.Dynamic = *dynamic
+	if *bound > 0 {
+		p.ResponseBound = *bound
+	}
+	if *preset != "" {
+		p.Duration = *duration
+	}
+
+	var r grubsim.Result
+	var err error
+	if *trace != "" {
+		f, ferr := os.Open(*trace)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, "grubsim:", ferr)
+			os.Exit(1)
+		}
+		tr, terr := grubsim.ReadTraceJSON(f)
+		f.Close()
+		if terr != nil {
+			fmt.Fprintln(os.Stderr, "grubsim:", terr)
+			os.Exit(1)
+		}
+		p.Duration = 0
+		r, err = grubsim.RunTrace(p, tr)
+	} else {
+		r, err = grubsim.Run(p)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grubsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("decision points: initial=%d added=%d final=%d (overload events=%d)\n",
+		p.InitialDPs, r.AddedDPs, r.FinalDPs, r.OverloadEvents)
+	for i, at := range r.AddTimes {
+		fmt.Printf("  +DP %d deployed at t=%s\n", p.InitialDPs+i+1, at.Round(time.Second))
+	}
+	fmt.Printf("operations: total=%d handled=%d timed-out=%d shed=%d\n",
+		r.Total, r.Handled, r.TimedOut, r.Shed)
+	fmt.Printf("response: mean=%s peak-window=%s\n",
+		r.MeanResponse.Round(10*time.Millisecond), r.PeakWindowResponse.Round(10*time.Millisecond))
+	fmt.Printf("throughput: %.2f handled ops/s (per DP: %v)\n", r.Throughput, r.PerDPHandled)
+
+	if *curves {
+		fmt.Println("\nwindow  response(s)  tput(q/s)")
+		for i := range r.ResponseCurve {
+			tput := 0.0
+			if i < len(r.ThroughputCurve) {
+				tput = r.ThroughputCurve[i]
+			}
+			fmt.Printf("%6d %12.2f %10.2f\n", i, r.ResponseCurve[i], tput)
+		}
+	}
+}

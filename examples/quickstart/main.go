@@ -1,0 +1,128 @@
+// Quickstart: one DI-GRUBER decision point brokering jobs onto a small
+// emulated grid, all in-process.
+//
+//	go run ./examples/quickstart
+//
+// It walks the full path a job takes in the paper: the submission host
+// asks its decision point for site loads, runs site-selector logic,
+// reports the dispatch back, and the job executes at the chosen site.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"digruber/internal/digruber"
+	"digruber/internal/grid"
+	"digruber/internal/usla"
+	"digruber/internal/vtime"
+	"digruber/internal/wire"
+)
+
+func main() {
+	// Compress time 60×: a 10-minute job takes 10 real seconds.
+	clock := vtime.NewScaled(time.Now(), 60)
+
+	// --- a small grid: three sites, 56 CPUs ---
+	g := grid.New(clock)
+	for _, site := range []struct {
+		name string
+		cpus int
+	}{
+		{"uchicago", 32}, {"anl", 16}, {"fnal", 8},
+	} {
+		if _, err := g.AddSite(grid.SiteConfig{Name: site.name, Clusters: []int{site.cpus}}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// --- USLAs: the atlas VO may use at most half of any site ---
+	policies := usla.NewPolicySet()
+	entries, err := usla.ParseTextString(`
+* atlas cpu 30
+* atlas cpu 50+
+* cms   cpu 20
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := policies.AddAll(entries); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- one decision point over an in-memory transport ---
+	mem := wire.NewMem()
+	dp, err := digruber.New(digruber.Config{
+		Name:      "dp-0",
+		Addr:      "dp-0",
+		Transport: mem,
+		Clock:     clock,
+		Profile:   wire.GT4C(), // fast C-based WS core
+		Policies:  policies,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Complete static knowledge of the grid's resources.
+	dp.Engine().UpdateSites(g.Snapshot(), clock.Now())
+	if err := dp.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer dp.Stop()
+
+	// --- a submission-host client bound to the decision point ---
+	client, err := digruber.NewClient(digruber.ClientConfig{
+		Name:          "laptop",
+		DPName:        "dp-0",
+		DPAddr:        "dp-0",
+		Transport:     mem,
+		Clock:         clock,
+		Timeout:       30 * time.Second,
+		FallbackSites: g.SiteNames(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// --- schedule and execute a handful of jobs ---
+	fmt.Println("scheduling 6 atlas jobs through DI-GRUBER:")
+	var tickets []*grid.Ticket
+	for i := 0; i < 6; i++ {
+		job := &grid.Job{
+			ID:         grid.JobID(fmt.Sprintf("analysis-%02d", i)),
+			Owner:      usla.MustParsePath("atlas.higgs"),
+			CPUs:       4,
+			Runtime:    2 * time.Minute,
+			SubmitHost: "laptop",
+		}
+		dec := client.Schedule(job)
+		if dec.Err != nil {
+			log.Fatalf("scheduling %s: %v", job.ID, dec.Err)
+		}
+		fmt.Printf("  %s -> %-9s (handled=%v, response %s)\n",
+			job.ID, dec.Site, dec.Handled, dec.Response.Round(time.Millisecond))
+		site, _ := g.Site(dec.Site)
+		ticket, err := site.Submit(job)
+		if err != nil {
+			log.Fatalf("submitting %s: %v", job.ID, err)
+		}
+		tickets = append(tickets, ticket)
+	}
+
+	fmt.Println("\nwaiting for completions (2 virtual minutes)...")
+	for _, t := range tickets {
+		out := <-t.Done()
+		fmt.Printf("  %s finished at %-9s queue-time=%s\n",
+			out.Job.ID, out.Site, out.QTime().Round(time.Second))
+	}
+
+	fmt.Println("\nfinal grid state:")
+	for _, st := range g.Snapshot() {
+		fmt.Printf("  %-9s %3d/%3d CPUs free\n", st.Name, st.FreeCPUs, st.TotalCPUs)
+	}
+	st := dp.Status()
+	fmt.Printf("\nbroker handled %d queries, recorded %d dispatches\n",
+		st.Queries, st.LocalDispatches)
+}

@@ -1,0 +1,140 @@
+// USLA negotiation: the agreement lifecycle the paper's introduction
+// demands — providers express and publish USLAs, consumers discover and
+// interpret them, and the broker enforces them — exercised end to end,
+// including a runtime policy change.
+//
+//	go run ./examples/usla-negotiation
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"digruber/internal/digruber"
+	"digruber/internal/grid"
+	"digruber/internal/usla"
+	"digruber/internal/vtime"
+	"digruber/internal/wire"
+)
+
+func main() {
+	clock := vtime.NewScaled(time.Now(), 60)
+	mem := wire.NewMem()
+
+	// --- grid and broker, with no USLAs yet ---
+	g := grid.New(clock)
+	g.AddSite(grid.SiteConfig{Name: "big-center", Clusters: []int{100}})
+	g.AddSite(grid.SiteConfig{Name: "small-lab", Clusters: []int{20}})
+
+	dp, err := digruber.New(digruber.Config{
+		Name: "dp-0", Addr: "dp-0", Transport: mem, Clock: clock,
+		Profile: wire.GT4C(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dp.Engine().UpdateSites(g.Snapshot(), clock.Now())
+	if err := dp.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer dp.Stop()
+
+	rpc := wire.NewClient(wire.ClientConfig{
+		Node: "provider-admin", ServerNode: "dp-0", Addr: "dp-0",
+		Transport: mem, Clock: clock,
+	})
+	defer rpc.Close()
+
+	// --- step 1: the provider proposes an agreement ---
+	agreement := &usla.Agreement{
+		Name: "big-center-atlas-2005",
+		Context: usla.Context{
+			Provider:   "big-center",
+			Consumer:   "atlas",
+			Expiration: clock.Now().Add(24 * time.Hour),
+		},
+		Terms: []usla.GuaranteeTerm{
+			{Name: "cpu-share", Resource: usla.CPU, Goal: "60+"},
+			{Name: "storage-share", Resource: usla.Storage, Goal: "40+"},
+		},
+	}
+	xml, err := agreement.XML()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("provider proposes:")
+	fmt.Println(string(xml))
+	reply, err := wire.Call[digruber.ProposeArgs, digruber.ProposeReply](
+		rpc, digruber.MethodProposeAgreement, digruber.ProposeArgs{AgreementXML: xml}, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbroker installed %d USLA entries (warnings: %d)\n\n", reply.EntriesAdded, len(reply.Warnings))
+
+	// --- step 2: a consumer discovers published agreements ---
+	published, err := wire.Call[digruber.PublishedArgs, digruber.PublishedReply](
+		rpc, digruber.MethodPublishedAgreements, digruber.PublishedArgs{Provider: "big-center"}, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("consumer discovers %d published agreement(s) for big-center:\n", len(published.AgreementsXML))
+	for _, doc := range published.AgreementsXML {
+		a, err := usla.ParseAgreementXML(doc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, term := range a.Terms {
+			fmt.Printf("  %s gets %s of %s at %s\n", a.Context.Consumer, term.Goal, term.Resource, a.Context.Provider)
+		}
+	}
+
+	// --- step 3: scheduling honors the agreement ---
+	client, err := digruber.NewClient(digruber.ClientConfig{
+		Name: "atlas-host", DPName: "dp-0", DPAddr: "dp-0",
+		Transport: mem, Clock: clock, Timeout: 10 * time.Second,
+		FallbackSites: g.SiteNames(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	schedule := func(tag string, n, cpus int) map[string]int {
+		placed := map[string]int{}
+		for i := 0; i < n; i++ {
+			job := &grid.Job{
+				ID:    grid.JobID(fmt.Sprintf("%s-%02d", tag, i)),
+				Owner: usla.MustParsePath("atlas"), CPUs: cpus,
+				Runtime: time.Hour, SubmitHost: "atlas-host",
+			}
+			dec := client.Schedule(job)
+			if dec.Err != nil {
+				log.Fatal(dec.Err)
+			}
+			placed[dec.Site] += cpus
+			if site, ok := g.Site(dec.Site); ok {
+				site.Submit(job)
+			}
+		}
+		return placed
+	}
+
+	fmt.Println("\natlas schedules 8 × 10-CPU jobs under the 60% cap:")
+	placed := schedule("wave1", 8, 10)
+	fmt.Printf("  placements: %v\n", placed)
+	fmt.Printf("  (big-center cap = 60 CPUs, so at most 60 land there; the rest spill to small-lab)\n")
+
+	// --- step 4: the provider tightens the cap at runtime ---
+	agreement.Terms[0].Goal = "20+"
+	xml2, _ := agreement.XML()
+	if _, err := wire.Call[digruber.ProposeArgs, digruber.ProposeReply](
+		rpc, digruber.MethodProposeAgreement, digruber.ProposeArgs{AgreementXML: xml2}, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nprovider renegotiates big-center down to 20+ ...")
+	loads := dp.Engine().SiteLoads(usla.MustParsePath("atlas"), 1)
+	for _, l := range loads {
+		fmt.Printf("  %-11s headroom now %.0f CPUs\n", l.Name, l.Headroom)
+	}
+}

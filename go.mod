@@ -1,0 +1,3 @@
+module digruber
+
+go 1.22

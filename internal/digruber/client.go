@@ -1,0 +1,286 @@
+package digruber
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"digruber/internal/grid"
+	"digruber/internal/gruber"
+	"digruber/internal/netsim"
+	"digruber/internal/vtime"
+	"digruber/internal/wire"
+)
+
+// ClientConfig wires one submission host's GRUBER client.
+type ClientConfig struct {
+	// Name is the submission host identity (job SubmitHost).
+	Name string
+	// Node is the emulated network node the host runs on.
+	Node string
+	// DPName, DPNode and DPAddr identify the statically-assigned
+	// decision point (the paper binds each client to one, chosen
+	// randomly at startup).
+	DPName string
+	DPNode string
+	DPAddr string
+
+	Transport wire.Transport
+	Network   *netsim.Network
+	Clock     vtime.Clock
+
+	// Timeout is the per-request deadline after which the client falls
+	// back to random site selection without considering USLAs.
+	Timeout time.Duration
+	// Selector ranks the decision point's answers (default USLAAware).
+	Selector gruber.Selector
+	// FallbackSites is the static site list used for random fallback;
+	// every submission host knows the grid's membership.
+	FallbackSites []string
+	// RNG drives the fallback selection (netsim.Stream provides one);
+	// nil gets a deterministic per-client stream.
+	RNG randSource
+	// SingleCall switches to the one-round-trip coupling the paper's
+	// conclusion proposes: the decision point runs site selection itself
+	// and records the dispatch, so no site state crosses the WAN and no
+	// separate report is needed.
+	SingleCall bool
+}
+
+// randSource is the slice-index randomness the client needs; *rand.Rand
+// satisfies it.
+type randSource interface {
+	Intn(n int) int
+}
+
+// Decision describes how one job got its site.
+type Decision struct {
+	JobID string
+	Site  string
+	// Handled reports whether the decision point answered in time (the
+	// paper's handled-by-GRUBER vs not-handled split).
+	Handled bool
+	// Response is the scheduling operation's total response time as the
+	// client experienced it.
+	Response time.Duration
+	// Err carries the failure when no site could be chosen at all.
+	Err error
+	// At is when the decision completed.
+	At time.Time
+}
+
+// Client is the submission-host side of DI-GRUBER: query the assigned
+// decision point, run the site selector, report the dispatch, and fall
+// back to USLA-blind random selection on timeout.
+type Client struct {
+	cfg      ClientConfig
+	selector gruber.Selector
+	clock    vtime.Clock
+
+	mu  sync.Mutex
+	rpc *wire.Client
+}
+
+// conn returns the current RPC client (it changes on Rebind).
+func (c *Client) conn() *wire.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rpc
+}
+
+// NewClient builds a client from its config.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Name == "" || cfg.DPAddr == "" {
+		return nil, fmt.Errorf("digruber: client needs Name and DPAddr")
+	}
+	if cfg.Transport == nil || cfg.Clock == nil {
+		return nil, fmt.Errorf("digruber: client %s needs Transport and Clock", cfg.Name)
+	}
+	if cfg.Node == "" {
+		cfg.Node = cfg.Name
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = netsim.Stream(1, "digruber.client/"+cfg.Name)
+	}
+	sel := cfg.Selector
+	if sel == nil {
+		sel = gruber.USLAAware{}
+	}
+	return &Client{
+		cfg: cfg,
+		rpc: wire.NewClient(wire.ClientConfig{
+			Node:       cfg.Node,
+			ServerNode: cfg.DPNode,
+			Addr:       cfg.DPAddr,
+			Transport:  cfg.Transport,
+			Network:    cfg.Network,
+			Clock:      cfg.Clock,
+		}),
+		selector: sel,
+		clock:    cfg.Clock,
+	}, nil
+}
+
+// DPName returns the currently-assigned decision point's name.
+func (c *Client) DPName() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.DPName
+}
+
+// Schedule runs the full scheduling interaction for one job and returns
+// the decision. It never blocks longer than roughly the configured
+// timeout: on expiry the fallback picks a random site immediately.
+func (c *Client) Schedule(j *grid.Job) Decision {
+	start := c.clock.Now()
+	dec := Decision{JobID: string(j.ID)}
+
+	if c.cfg.SingleCall {
+		return c.scheduleSingleCall(j, start, dec)
+	}
+
+	rpc := c.conn()
+	reply, err := wire.Call[QueryArgs, QueryReply](rpc, MethodQuery,
+		QueryArgs{Owner: j.Owner.String(), CPUs: j.CPUs}, c.cfg.Timeout)
+	if err != nil {
+		// Graceful degradation: random site, no USLAs, not handled.
+		dec.Site, dec.Err = c.fallback()
+		dec.Handled = false
+		dec.Response = c.clock.Since(start)
+		dec.At = c.clock.Now()
+		return dec
+	}
+
+	site, ok := c.selector.Select(reply.Loads, j.CPUs)
+	if !ok {
+		// The decision point answered but no site qualifies under USLAs;
+		// degrade to random among the reported sites (still counts as
+		// handled — the broker's information was used).
+		site, ok = pickAnyFree(reply.Loads, j.CPUs, c.cfg.RNG)
+		if !ok {
+			dec.Site, dec.Err = c.fallback()
+			dec.Handled = true
+			dec.Response = c.clock.Since(start)
+			dec.At = c.clock.Now()
+			return dec
+		}
+	}
+
+	// Second round trip: inform the decision point of the selection so
+	// its view (and, via exchange, its peers') reflects the dispatch.
+	report := ReportArgs{Dispatch: gruber.Dispatch{
+		JobID:   string(j.ID),
+		Site:    site,
+		Owner:   j.Owner.String(),
+		CPUs:    j.CPUs,
+		Runtime: j.Runtime,
+		At:      c.clock.Now(),
+	}}
+	if _, err := wire.Call[ReportArgs, ReportReply](rpc, MethodReport, report, c.remaining(start)); err != nil {
+		// The selection stands; only the bookkeeping was lost.
+		dec.Handled = false
+	} else {
+		dec.Handled = true
+	}
+	dec.Site = site
+	dec.Response = c.clock.Since(start)
+	dec.At = c.clock.Now()
+	return dec
+}
+
+// scheduleSingleCall is the one-round-trip coupling: the decision point
+// selects and records in a single interaction.
+func (c *Client) scheduleSingleCall(j *grid.Job, start time.Time, dec Decision) Decision {
+	reply, err := wire.Call[ScheduleArgs, ScheduleReply](c.conn(), MethodSchedule, ScheduleArgs{
+		JobID:   string(j.ID),
+		Owner:   j.Owner.String(),
+		CPUs:    j.CPUs,
+		Runtime: j.Runtime,
+	}, c.cfg.Timeout)
+	switch {
+	case err != nil:
+		dec.Site, dec.Err = c.fallback()
+		dec.Handled = false
+	case !reply.OK:
+		// The broker answered but nothing qualified; degrade to random.
+		dec.Site, dec.Err = c.fallback()
+		dec.Handled = true
+	default:
+		dec.Site = reply.Site
+		dec.Handled = true
+	}
+	dec.Response = c.clock.Since(start)
+	dec.At = c.clock.Now()
+	return dec
+}
+
+// remaining computes the budget left for the report call, with a small
+// floor so a slow query doesn't zero it out entirely.
+func (c *Client) remaining(start time.Time) time.Duration {
+	rem := c.cfg.Timeout - c.clock.Since(start)
+	if min := c.cfg.Timeout / 10; rem < min {
+		rem = min
+	}
+	return rem
+}
+
+func (c *Client) fallback() (string, error) {
+	if len(c.cfg.FallbackSites) == 0 {
+		return "", fmt.Errorf("digruber: client %s has no fallback sites", c.cfg.Name)
+	}
+	return c.cfg.FallbackSites[c.cfg.RNG.Intn(len(c.cfg.FallbackSites))], nil
+}
+
+func pickAnyFree(loads []gruber.SiteLoad, cpus int, rng randSource) (string, bool) {
+	free := make([]string, 0, len(loads))
+	for _, l := range loads {
+		if l.EstFreeCPUs >= cpus {
+			free = append(free, l.Name)
+		}
+	}
+	if len(free) == 0 {
+		return "", false
+	}
+	return free[rng.Intn(len(free))], true
+}
+
+// Rebind switches the client to a different decision point — used by
+// the Provisioner when it rebalances load after deploying a new point.
+// In-flight calls on the old connection run to completion; subsequent
+// Schedule calls go to the new point.
+func (c *Client) Rebind(dpName, dpNode, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cfg.DPAddr == addr && c.cfg.DPName == dpName {
+		return
+	}
+	old := c.rpc
+	c.cfg.DPName = dpName
+	c.cfg.DPNode = dpNode
+	c.cfg.DPAddr = addr
+	c.rpc = wire.NewClient(wire.ClientConfig{
+		Node:       c.cfg.Node,
+		ServerNode: dpNode,
+		Addr:       addr,
+		Transport:  c.cfg.Transport,
+		Network:    c.cfg.Network,
+		Clock:      c.cfg.Clock,
+	})
+	// Close the old connection in the background once its in-flight
+	// calls have had a chance to finish.
+	go func() {
+		c.clock.Sleep(c.cfg.Timeout)
+		old.Close()
+	}()
+}
+
+// Close releases the client's connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	rpc := c.rpc
+	c.mu.Unlock()
+	rpc.Close()
+}

@@ -1,0 +1,400 @@
+package digruber
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"digruber/internal/gruber"
+	"digruber/internal/netsim"
+	"digruber/internal/usla"
+	"digruber/internal/vtime"
+	"digruber/internal/wire"
+)
+
+// Config wires one decision point.
+type Config struct {
+	// Name identifies the decision point (dispatch Origin, status reports).
+	Name string
+	// Node is the emulated network node the decision point runs on.
+	Node string
+	// Addr is the transport address to listen on.
+	Addr string
+	// Transport and Network define the emulated wire.
+	Transport wire.Transport
+	Network   *netsim.Network
+	Clock     vtime.Clock
+	// Profile is the web-service stack emulation (GT3/GT4).
+	Profile wire.StackProfile
+	// Policies is the local USLA knowledge.
+	Policies *usla.PolicySet
+	// ExchangeInterval is the peer synchronization period (the paper's
+	// default is three minutes).
+	ExchangeInterval time.Duration
+	// Strategy selects what is disseminated.
+	Strategy DisseminationStrategy
+	// PeerTimeout bounds each peer exchange call.
+	PeerTimeout time.Duration
+	// Saturation configures the self-saturation detector; zero values
+	// get defaults.
+	Saturation SaturationConfig
+}
+
+func (c *Config) setDefaults() error {
+	if c.Name == "" || c.Addr == "" {
+		return fmt.Errorf("digruber: decision point needs Name and Addr")
+	}
+	if c.Transport == nil || c.Clock == nil {
+		return fmt.Errorf("digruber: decision point %s needs Transport and Clock", c.Name)
+	}
+	if c.Node == "" {
+		c.Node = c.Name
+	}
+	if c.Policies == nil {
+		c.Policies = usla.NewPolicySet()
+	}
+	if c.ExchangeInterval <= 0 {
+		c.ExchangeInterval = 3 * time.Minute
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = 30 * time.Second
+	}
+	if c.Saturation.Workers <= 0 {
+		c.Saturation.Workers = c.Profile.Workers()
+	}
+	c.Saturation.setDefaults()
+	return nil
+}
+
+// DecisionPoint is one DI-GRUBER broker: a GRUBER engine served over the
+// emulated toolkit stack, plus the mesh synchronization machinery.
+type DecisionPoint struct {
+	cfg      Config
+	engine   *gruber.Engine
+	server   *wire.Server
+	listener wire.Listener
+	detector *SaturationDetector
+
+	mu       sync.Mutex
+	peers    map[string]*peerLink
+	started  bool
+	stopped  bool
+	ticker   vtime.Ticker
+	done     chan struct{}
+	rounds   int // exchange rounds completed
+	sentRecs int // dispatch records sent to peers
+}
+
+type peerLink struct {
+	name     string
+	client   *wire.Client
+	lastSent time.Time
+}
+
+// New builds a decision point (not yet listening).
+func New(cfg Config) (*DecisionPoint, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	dp := &DecisionPoint{
+		cfg:      cfg,
+		engine:   gruber.NewEngine(cfg.Name, cfg.Policies, cfg.Clock),
+		server:   wire.NewServer(cfg.Node, cfg.Profile, cfg.Clock),
+		detector: NewSaturationDetector(cfg.Saturation, cfg.Clock),
+		peers:    make(map[string]*peerLink),
+	}
+	dp.registerHandlers()
+	return dp, nil
+}
+
+// Name returns the decision point's identity.
+func (dp *DecisionPoint) Name() string { return dp.cfg.Name }
+
+// Addr returns the address the decision point listens on.
+func (dp *DecisionPoint) Addr() string { return dp.cfg.Addr }
+
+// Engine exposes the underlying GRUBER engine (for wiring monitors and
+// for white-box assertions in tests).
+func (dp *DecisionPoint) Engine() *gruber.Engine { return dp.engine }
+
+// Detector exposes the saturation detector.
+func (dp *DecisionPoint) Detector() *SaturationDetector { return dp.detector }
+
+func (dp *DecisionPoint) registerHandlers() {
+	wire.Handle(dp.server, MethodQuery, func(a QueryArgs) (QueryReply, error) {
+		dp.detector.ObserveArrival()
+		owner, err := usla.ParsePath(a.Owner)
+		if err != nil {
+			return QueryReply{}, err
+		}
+		if a.CPUs <= 0 {
+			return QueryReply{}, fmt.Errorf("digruber: query with %d CPUs", a.CPUs)
+		}
+		return QueryReply{Loads: dp.engine.SiteLoads(owner, a.CPUs)}, nil
+	})
+	wire.Handle(dp.server, MethodReport, func(a ReportArgs) (ReportReply, error) {
+		dp.engine.RecordDispatch(a.Dispatch)
+		return ReportReply{OK: true}, nil
+	})
+	wire.Handle(dp.server, MethodExchange, func(a ExchangeArgs) (ExchangeReply, error) {
+		merged := dp.engine.MergeRemote(a.Dispatches)
+		for _, e := range a.USLAs {
+			// Under usage-and-USLAs dissemination, remote entries are
+			// folded into local policy knowledge.
+			if err := dp.cfg.Policies.Add(e); err != nil {
+				return ExchangeReply{}, err
+			}
+		}
+		return ExchangeReply{Merged: merged}, nil
+	})
+	wire.Handle(dp.server, MethodStatus, func(StatusArgs) (StatusReply, error) {
+		return dp.Status(), nil
+	})
+	wire.Handle(dp.server, MethodProposeAgreement, func(a ProposeArgs) (ProposeReply, error) {
+		agreement, err := usla.ParseAgreementXML(a.AgreementXML)
+		if err != nil {
+			return ProposeReply{}, err
+		}
+		entries, err := agreement.Entries(dp.cfg.Clock.Now())
+		if err != nil {
+			return ProposeReply{}, err
+		}
+		for _, e := range entries {
+			if err := dp.cfg.Policies.Add(e); err != nil {
+				return ProposeReply{}, err
+			}
+		}
+		var warnings []string
+		for _, verr := range dp.cfg.Policies.Validate() {
+			warnings = append(warnings, verr.Error())
+		}
+		return ProposeReply{EntriesAdded: len(entries), Warnings: warnings}, nil
+	})
+	wire.Handle(dp.server, MethodPublishedAgreements, func(a PublishedArgs) (PublishedReply, error) {
+		entries := dp.cfg.Policies.Entries()
+		if a.Provider != "" {
+			filtered := entries[:0]
+			for _, e := range entries {
+				if e.Provider == a.Provider {
+					filtered = append(filtered, e)
+				}
+			}
+			entries = filtered
+		}
+		var reply PublishedReply
+		for _, agreement := range usla.FromEntries(entries) {
+			data, err := agreement.XML()
+			if err != nil {
+				return PublishedReply{}, err
+			}
+			reply.AgreementsXML = append(reply.AgreementsXML, data)
+		}
+		return reply, nil
+	})
+	wire.Handle(dp.server, MethodSchedule, func(a ScheduleArgs) (ScheduleReply, error) {
+		dp.detector.ObserveArrival()
+		owner, err := usla.ParsePath(a.Owner)
+		if err != nil {
+			return ScheduleReply{}, err
+		}
+		if a.CPUs <= 0 || a.Runtime <= 0 {
+			return ScheduleReply{}, fmt.Errorf("digruber: schedule with cpus=%d runtime=%s", a.CPUs, a.Runtime)
+		}
+		loads := dp.engine.SiteLoads(owner, a.CPUs)
+		site, ok := (gruber.USLAAware{}).Select(loads, a.CPUs)
+		if !ok {
+			return ScheduleReply{OK: false}, nil
+		}
+		dp.engine.RecordDispatch(gruber.Dispatch{
+			JobID:   a.JobID,
+			Site:    site,
+			Owner:   a.Owner,
+			CPUs:    a.CPUs,
+			Runtime: a.Runtime,
+			At:      dp.cfg.Clock.Now(),
+		})
+		return ScheduleReply{Site: site, OK: true}, nil
+	})
+}
+
+// Status assembles the decision point's self-report.
+func (dp *DecisionPoint) Status() StatusReply {
+	es := dp.engine.Stats()
+	ss := dp.server.Stats()
+	observed, capacity, saturated := dp.detector.Assess(ss)
+	return StatusReply{
+		Name:             dp.cfg.Name,
+		Queries:          es.Queries,
+		LocalDispatches:  es.LocalDispatches,
+		RemoteDispatches: es.RemoteDispatches,
+		Received:         ss.Received,
+		Completed:        ss.Completed,
+		Shed:             ss.Shed,
+		InFlight:         ss.InFlight,
+		Queued:           ss.Queued,
+		Saturated:        saturated,
+		ObservedRate:     observed,
+		CapacityRate:     capacity,
+		At:               dp.cfg.Clock.Now(),
+	}
+}
+
+// AddPeer registers another decision point in this one's mesh. Call on
+// every decision point for a full mesh.
+func (dp *DecisionPoint) AddPeer(name, node, addr string) {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	if name == dp.cfg.Name {
+		return
+	}
+	if _, exists := dp.peers[name]; exists {
+		return
+	}
+	dp.peers[name] = &peerLink{
+		name: name,
+		client: wire.NewClient(wire.ClientConfig{
+			Node:       dp.cfg.Node,
+			ServerNode: node,
+			Addr:       addr,
+			Transport:  dp.cfg.Transport,
+			Network:    dp.cfg.Network,
+			Clock:      dp.cfg.Clock,
+		}),
+	}
+}
+
+// Peers lists the registered peer names.
+func (dp *DecisionPoint) Peers() []string {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	out := make([]string, 0, len(dp.peers))
+	for name := range dp.peers {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Start begins listening and, unless the strategy is NoExchange, starts
+// the periodic exchange loop.
+func (dp *DecisionPoint) Start() error {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	if dp.started {
+		return fmt.Errorf("digruber: decision point %s already started", dp.cfg.Name)
+	}
+	l, err := dp.cfg.Transport.Listen(dp.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("digruber: %s: %w", dp.cfg.Name, err)
+	}
+	dp.listener = l
+	dp.started = true
+	dp.done = make(chan struct{})
+	go dp.server.Serve(l)
+	if dp.cfg.Strategy != NoExchange {
+		dp.ticker = dp.cfg.Clock.NewTicker(dp.cfg.ExchangeInterval)
+		go dp.exchangeLoop(dp.ticker, dp.done)
+	}
+	return nil
+}
+
+func (dp *DecisionPoint) exchangeLoop(ticker vtime.Ticker, done chan struct{}) {
+	for {
+		select {
+		case <-ticker.C():
+			dp.ExchangeNow()
+		case <-done:
+			return
+		}
+	}
+}
+
+// ExchangeNow performs one synchronization round with every peer
+// immediately, returning how many dispatch records were sent. Rounds
+// normally run off the interval ticker; tests and reconfiguration logic
+// call this directly.
+func (dp *DecisionPoint) ExchangeNow() int {
+	dp.mu.Lock()
+	links := make([]*peerLink, 0, len(dp.peers))
+	for _, l := range dp.peers {
+		links = append(links, l)
+	}
+	strategy := dp.cfg.Strategy
+	timeout := dp.cfg.PeerTimeout
+	dp.mu.Unlock()
+
+	if strategy == NoExchange {
+		return 0
+	}
+	now := dp.cfg.Clock.Now()
+	sent := 0
+	var wg sync.WaitGroup
+	for _, link := range links {
+		link := link
+		batch := dp.engine.LocalDispatchesSince(link.lastSent)
+		args := ExchangeArgs{From: dp.cfg.Name, Dispatches: batch}
+		if strategy == UsageAndUSLAs {
+			args.USLAs = dp.cfg.Policies.Entries()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := wire.Call[ExchangeArgs, ExchangeReply](link.client, MethodExchange, args, timeout); err == nil {
+				dp.mu.Lock()
+				link.lastSent = now
+				dp.mu.Unlock()
+			}
+			// On failure the batch is retransmitted next round; the
+			// receiver's JobID dedup makes that harmless.
+		}()
+		sent += len(batch)
+	}
+	wg.Wait()
+	dp.mu.Lock()
+	dp.rounds++
+	dp.sentRecs += sent
+	dp.mu.Unlock()
+	// Bound the local log: nothing older than two intervals is ever
+	// needed again once every peer has acknowledged.
+	oldest := now
+	dp.mu.Lock()
+	for _, l := range dp.peers {
+		if l.lastSent.Before(oldest) {
+			oldest = l.lastSent
+		}
+	}
+	dp.mu.Unlock()
+	dp.engine.CompactLocalLog(oldest.Add(-dp.cfg.ExchangeInterval))
+	return sent
+}
+
+// ExchangeRounds reports completed exchange rounds (for tests).
+func (dp *DecisionPoint) ExchangeRounds() int {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	return dp.rounds
+}
+
+// Stop shuts the decision point down.
+func (dp *DecisionPoint) Stop() {
+	dp.mu.Lock()
+	if !dp.started || dp.stopped {
+		dp.mu.Unlock()
+		return
+	}
+	dp.stopped = true
+	if dp.ticker != nil {
+		dp.ticker.Stop()
+	}
+	close(dp.done)
+	listener := dp.listener
+	peers := dp.peers
+	dp.mu.Unlock()
+
+	dp.server.Close()
+	if listener != nil {
+		listener.Close()
+	}
+	for _, p := range peers {
+		p.client.Close()
+	}
+}

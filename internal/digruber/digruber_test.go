@@ -1,0 +1,358 @@
+package digruber
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"digruber/internal/grid"
+	"digruber/internal/gruber"
+	"digruber/internal/netsim"
+	"digruber/internal/usla"
+	"digruber/internal/vtime"
+	"digruber/internal/wire"
+)
+
+var epoch = time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+
+// harness spins up n decision points in a full mesh over an in-memory
+// transport with no WAN delay and an instant service stack, feeding each
+// an identical static baseline of sites.
+type harness struct {
+	t     *testing.T
+	mem   *wire.Mem
+	clock vtime.Clock
+	dps   []*DecisionPoint
+}
+
+func newHarness(t *testing.T, n int, clock vtime.Clock, statuses []grid.Status) *harness {
+	// Exchange is driven manually via ExchangeNow: the interval is far
+	// beyond any test's real-clock runtime.
+	return newHarnessStrategy(t, n, clock, statuses, UsageOnly)
+}
+
+func newHarnessStrategy(t *testing.T, n int, clock vtime.Clock, statuses []grid.Status, strategy DisseminationStrategy) *harness {
+	t.Helper()
+	h := &harness{t: t, mem: wire.NewMem(), clock: clock}
+	for i := 0; i < n; i++ {
+		dp, err := New(Config{
+			Name:             fmt.Sprintf("dp-%d", i),
+			Addr:             fmt.Sprintf("dp-%d", i),
+			Transport:        h.mem,
+			Clock:            clock,
+			Profile:          wire.Instant(),
+			Strategy:         strategy,
+			ExchangeInterval: time.Hour,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp.Engine().UpdateSites(statuses, clock.Now())
+		h.dps = append(h.dps, dp)
+	}
+	for _, dp := range h.dps {
+		for _, peer := range h.dps {
+			if peer != dp {
+				dp.AddPeer(peer.Name(), peer.Name(), peer.Addr())
+			}
+		}
+		if err := dp.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, dp := range h.dps {
+			dp.Stop()
+		}
+	})
+	return h
+}
+
+func (h *harness) client(i, dp int, sites []string) *Client {
+	h.t.Helper()
+	c, err := NewClient(ClientConfig{
+		Name:          fmt.Sprintf("client-%d", i),
+		DPName:        h.dps[dp].Name(),
+		DPNode:        h.dps[dp].Name(),
+		DPAddr:        h.dps[dp].Addr(),
+		Transport:     h.mem,
+		Clock:         h.clock,
+		Timeout:       5 * time.Second,
+		FallbackSites: sites,
+		RNG:           netsim.Stream(7, fmt.Sprintf("test.client-%d", i)),
+	})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.t.Cleanup(c.Close)
+	return c
+}
+
+func testStatuses(free ...int) []grid.Status {
+	out := make([]grid.Status, len(free))
+	for i, f := range free {
+		out[i] = grid.Status{
+			Name:        fmt.Sprintf("site-%03d", i),
+			TotalCPUs:   100,
+			FreeCPUs:    f,
+			UsageByPath: map[string]int{},
+		}
+	}
+	return out
+}
+
+func testJob(id string) *grid.Job {
+	return &grid.Job{ID: grid.JobID(id), Owner: usla.MustParsePath("atlas"), CPUs: 1, Runtime: time.Hour, SubmitHost: "client-0"}
+}
+
+func TestClientSchedulesThroughDP(t *testing.T) {
+	clock := vtime.NewReal()
+	h := newHarness(t, 1, clock, testStatuses(50, 80, 10))
+	c := h.client(0, 0, nil)
+	dec := c.Schedule(testJob("j1"))
+	if dec.Err != nil {
+		t.Fatal(dec.Err)
+	}
+	if !dec.Handled {
+		t.Fatal("decision not handled by GRUBER")
+	}
+	if dec.Site != "site-001" {
+		t.Fatalf("site = %s, want site-001 (most free CPUs)", dec.Site)
+	}
+	// The dispatch report must have updated the DP's view.
+	if got := h.dps[0].Engine().EstFreeCPUs("site-001"); got != 79 {
+		t.Fatalf("DP view after report = %d, want 79", got)
+	}
+}
+
+func TestClientFallbackOnTimeout(t *testing.T) {
+	// No decision point at the address: dial fails, fallback kicks in.
+	mem := wire.NewMem()
+	c, err := NewClient(ClientConfig{
+		Name: "client-0", DPAddr: "nowhere", Transport: mem,
+		Clock: vtime.NewReal(), Timeout: 50 * time.Millisecond,
+		FallbackSites: []string{"site-a", "site-b"},
+		RNG:           netsim.Stream(1, "t"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dec := c.Schedule(testJob("j1"))
+	if dec.Handled {
+		t.Fatal("decision marked handled despite unreachable DP")
+	}
+	if dec.Site != "site-a" && dec.Site != "site-b" {
+		t.Fatalf("fallback site = %q", dec.Site)
+	}
+	if dec.Err != nil {
+		t.Fatalf("fallback should succeed: %v", dec.Err)
+	}
+}
+
+func TestClientFallbackWithoutSitesErrors(t *testing.T) {
+	mem := wire.NewMem()
+	c, _ := NewClient(ClientConfig{
+		Name: "client-0", DPAddr: "nowhere", Transport: mem,
+		Clock: vtime.NewReal(), Timeout: 20 * time.Millisecond,
+		RNG: netsim.Stream(1, "t"),
+	})
+	defer c.Close()
+	dec := c.Schedule(testJob("j1"))
+	if dec.Err == nil {
+		t.Fatal("expected error with no fallback sites")
+	}
+}
+
+func TestExchangePropagatesDispatches(t *testing.T) {
+	clock := vtime.NewReal()
+	h := newHarness(t, 3, clock, testStatuses(100, 100))
+	// Client of dp-0 schedules 10 jobs.
+	c := h.client(0, 0, nil)
+	for i := 0; i < 10; i++ {
+		if dec := c.Schedule(testJob(fmt.Sprintf("j%d", i))); dec.Err != nil {
+			t.Fatal(dec.Err)
+		}
+	}
+	before1 := h.dps[1].Engine().Stats().RemoteDispatches
+	if before1 != 0 {
+		t.Fatalf("dp-1 saw %d dispatches before exchange", before1)
+	}
+	h.dps[0].ExchangeNow()
+	s1, s2 := h.dps[1].Engine().Stats(), h.dps[2].Engine().Stats()
+	if s1.RemoteDispatches != 10 || s2.RemoteDispatches != 10 {
+		t.Fatalf("remote dispatches after exchange: dp-1=%d dp-2=%d, want 10/10", s1.RemoteDispatches, s2.RemoteDispatches)
+	}
+	// Views converge: all three DPs now estimate the same free CPUs.
+	for i, dp := range h.dps {
+		sum := dp.Engine().EstFreeCPUs("site-000") + dp.Engine().EstFreeCPUs("site-001")
+		if sum != 190 {
+			t.Fatalf("dp-%d total est free = %d, want 190", i, sum)
+		}
+	}
+}
+
+func TestExchangeIncrementalAndIdempotent(t *testing.T) {
+	clock := vtime.NewReal()
+	h := newHarness(t, 2, clock, testStatuses(100))
+	c := h.client(0, 0, nil)
+	c.Schedule(testJob("a"))
+	h.dps[0].ExchangeNow()
+	c.Schedule(testJob("b"))
+	h.dps[0].ExchangeNow()
+	h.dps[0].ExchangeNow() // nothing new
+	st := h.dps[1].Engine().Stats()
+	if st.RemoteDispatches != 2 {
+		t.Fatalf("dp-1 remote dispatches = %d, want 2 (no duplicates applied)", st.RemoteDispatches)
+	}
+	if got := h.dps[1].Engine().EstFreeCPUs("site-000"); got != 98 {
+		t.Fatalf("dp-1 est = %d, want 98", got)
+	}
+}
+
+func TestPeriodicExchangeLoop(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	mem := wire.NewMem()
+	mk := func(name string) *DecisionPoint {
+		dp, err := New(Config{
+			Name: name, Addr: name, Transport: mem, Clock: clock,
+			Profile: wire.Instant(), Strategy: UsageOnly,
+			ExchangeInterval: 3 * time.Minute,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dp.Engine().UpdateSites(testStatuses(100), clock.Now())
+		return dp
+	}
+	a, b := mk("dp-a"), mk("dp-b")
+	a.AddPeer("dp-b", "dp-b", "dp-b")
+	b.AddPeer("dp-a", "dp-a", "dp-a")
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	defer b.Stop()
+
+	a.Engine().RecordDispatch(gruber.Dispatch{JobID: "x", Site: "site-000", Owner: "atlas", CPUs: 5, Runtime: time.Hour, At: clock.Now()})
+	clock.Advance(3 * time.Minute) // ticker fires; exchange runs in goroutine
+	waitFor(t, func() bool { return b.Engine().Stats().RemoteDispatches == 1 })
+	if got := b.Engine().EstFreeCPUs("site-000"); got != 95 {
+		t.Fatalf("dp-b est = %d, want 95", got)
+	}
+}
+
+func TestUSLADissemination(t *testing.T) {
+	clock := vtime.NewReal()
+	mem := wire.NewMem()
+	psA := usla.NewPolicySet()
+	entries, _ := usla.ParseTextString("* atlas cpu 25+")
+	psA.AddAll(entries)
+	a, err := New(Config{
+		Name: "dp-a", Addr: "dp-a", Transport: mem, Clock: clock,
+		Profile: wire.Instant(), Strategy: UsageAndUSLAs, Policies: psA,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Config{
+		Name: "dp-b", Addr: "dp-b", Transport: mem, Clock: clock,
+		Profile: wire.Instant(), Strategy: UsageAndUSLAs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Engine().UpdateSites(testStatuses(100), clock.Now())
+	b.Engine().UpdateSites(testStatuses(100), clock.Now())
+	a.AddPeer("dp-b", "dp-b", "dp-b")
+	b.AddPeer("dp-a", "dp-a", "dp-a")
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+
+	a.ExchangeNow()
+	l := b.Engine().Policies().LimitsFor("site-000", usla.MustParsePath("atlas"), usla.CPU)
+	if l.Upper != 25 {
+		t.Fatalf("dp-b atlas upper = %v, want 25 (USLA disseminated)", l.Upper)
+	}
+}
+
+func TestNoExchangeStrategyKeepsViewsApart(t *testing.T) {
+	clock := vtime.NewReal()
+	h := newHarnessStrategy(t, 2, clock, testStatuses(100), NoExchange)
+	c := h.client(0, 0, nil)
+	c.Schedule(testJob("j1"))
+	h.dps[0].ExchangeNow() // strategy is NoExchange: must be a no-op
+	if st := h.dps[1].Engine().Stats(); st.RemoteDispatches != 0 {
+		t.Fatal("NoExchange still propagated dispatches")
+	}
+}
+
+func TestStatusRPC(t *testing.T) {
+	clock := vtime.NewReal()
+	h := newHarness(t, 1, clock, testStatuses(100))
+	c := h.client(0, 0, nil)
+	c.Schedule(testJob("j1"))
+	cli := wire.NewClient(wire.ClientConfig{
+		Node: "observer", ServerNode: h.dps[0].Name(), Addr: h.dps[0].Addr(),
+		Transport: h.mem, Clock: clock,
+	})
+	defer cli.Close()
+	st, err := wire.Call[StatusArgs, StatusReply](cli, MethodStatus, StatusArgs{}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "dp-0" || st.Queries != 1 || st.LocalDispatches != 1 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	clock := vtime.NewReal()
+	h := newHarness(t, 1, clock, testStatuses(100))
+	cli := wire.NewClient(wire.ClientConfig{
+		Node: "x", ServerNode: "dp-0", Addr: "dp-0", Transport: h.mem, Clock: clock,
+	})
+	defer cli.Close()
+	if _, err := wire.Call[QueryArgs, QueryReply](cli, MethodQuery, QueryArgs{Owner: "bad..path", CPUs: 1}, time.Second); err == nil {
+		t.Fatal("bad owner accepted")
+	}
+	if _, err := wire.Call[QueryArgs, QueryReply](cli, MethodQuery, QueryArgs{Owner: "atlas", CPUs: 0}, time.Second); err == nil {
+		t.Fatal("zero CPUs accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := New(Config{Name: "x", Addr: "a"}); err == nil {
+		t.Fatal("missing transport accepted")
+	}
+	if _, err := NewClient(ClientConfig{}); err == nil {
+		t.Fatal("empty client config accepted")
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	clock := vtime.NewReal()
+	h := newHarness(t, 1, clock, testStatuses(10))
+	if err := h.dps[0].Start(); err == nil {
+		t.Fatal("second Start succeeded")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}

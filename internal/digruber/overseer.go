@@ -1,0 +1,137 @@
+package digruber
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"digruber/internal/vtime"
+)
+
+// Overseer is the third-party monitoring service of Section 5: decision
+// points report (or are polled for) their status; the overseer records
+// saturation events and decides how the scheduling infrastructure should
+// be reconfigured — "adding decision points or rebalancing load among
+// existing decision points to avoid overloading".
+type Overseer struct {
+	clock vtime.Clock
+
+	mu     sync.Mutex
+	points map[string]func() StatusReply
+	events []SaturationEvent
+	last   map[string]StatusReply
+}
+
+// SaturationEvent records one decision point reporting saturation.
+type SaturationEvent struct {
+	DP           string
+	At           time.Time
+	ObservedRate float64
+	CapacityRate float64
+}
+
+// NewOverseer returns an empty overseer.
+func NewOverseer(clock vtime.Clock) *Overseer {
+	return &Overseer{
+		clock:  clock,
+		points: make(map[string]func() StatusReply),
+		last:   make(map[string]StatusReply),
+	}
+}
+
+// Attach registers a decision point via a status source — a local
+// handle's Status method, or a closure performing the Status RPC.
+func (o *Overseer) Attach(name string, status func() StatusReply) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.points[name] = status
+}
+
+// Poll queries every attached decision point once, recording saturation
+// events, and returns the statuses sorted by name.
+func (o *Overseer) Poll() []StatusReply {
+	o.mu.Lock()
+	sources := make(map[string]func() StatusReply, len(o.points))
+	for n, f := range o.points {
+		sources[n] = f
+	}
+	o.mu.Unlock()
+
+	replies := make([]StatusReply, 0, len(sources))
+	for name, fn := range sources {
+		st := fn()
+		st.Name = name
+		replies = append(replies, st)
+	}
+	sort.Slice(replies, func(i, j int) bool { return replies[i].Name < replies[j].Name })
+
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for _, st := range replies {
+		prev, had := o.last[st.Name]
+		if st.Saturated && (!had || !prev.Saturated) {
+			o.events = append(o.events, SaturationEvent{
+				DP: st.Name, At: o.clock.Now(),
+				ObservedRate: st.ObservedRate, CapacityRate: st.CapacityRate,
+			})
+		}
+		o.last[st.Name] = st
+	}
+	return replies
+}
+
+// Events returns all recorded saturation events.
+func (o *Overseer) Events() []SaturationEvent {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]SaturationEvent(nil), o.events...)
+}
+
+// Recommendation is the overseer's reconfiguration advice.
+type Recommendation struct {
+	// Current is the number of attached decision points.
+	Current int
+	// Needed is the total decision points required to carry the
+	// aggregate observed load within capacity.
+	Needed int
+	// Saturated lists currently-saturated decision points.
+	Saturated []string
+}
+
+// Recommend computes, from the most recent poll, how many decision
+// points the current load requires: the aggregate observed request rate
+// divided by the per-point capacity, rounded up, never fewer than the
+// current count while any point is saturated.
+func (o *Overseer) Recommend() Recommendation {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	rec := Recommendation{Current: len(o.points)}
+	var totalObserved, totalCapacity float64
+	n := 0
+	for name, st := range o.last {
+		totalObserved += st.ObservedRate
+		totalCapacity += st.CapacityRate
+		if st.Saturated {
+			rec.Saturated = append(rec.Saturated, name)
+		}
+		n++
+	}
+	sort.Strings(rec.Saturated)
+	rec.Needed = rec.Current
+	if n == 0 || totalCapacity == 0 {
+		return rec
+	}
+	perPoint := totalCapacity / float64(n)
+	needed := int(math.Ceil(totalObserved / perPoint))
+	if needed < 1 {
+		needed = 1
+	}
+	// Never recommend shrinking below the current deployment while any
+	// point is saturated; growth is driven by the rate model.
+	if len(rec.Saturated) > 0 && needed <= rec.Current {
+		needed = rec.Current + 1
+	}
+	rec.Needed = needed
+	return rec
+}

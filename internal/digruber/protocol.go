@@ -1,0 +1,151 @@
+// Package digruber implements the paper's contribution: the distributed
+// two-layer brokering infrastructure that extends GRUBER with multiple
+// decision points, loosely synchronized by periodic information exchange
+// over a mesh.
+//
+// A DecisionPoint wraps a gruber.Engine behind the emulated GT3/GT4
+// service stack (wire package). Submission-host Clients bind statically
+// to one decision point, query it for site loads, run site-selector logic
+// locally, and report the dispatch back — the two-round-trip interaction
+// the paper describes. Decision points flood their recent dispatch
+// observations to every peer each exchange interval; how much they share
+// is the DisseminationStrategy (paper Section 3.5). A client whose
+// decision point fails to answer within its timeout degrades gracefully
+// to random site selection without USLAs.
+package digruber
+
+import (
+	"time"
+
+	"digruber/internal/gruber"
+	"digruber/internal/usla"
+)
+
+// RPC method names exposed by a decision point.
+const (
+	MethodQuery    = "DIGRUBER.QuerySiteLoads"
+	MethodReport   = "DIGRUBER.ReportDispatch"
+	MethodExchange = "DIGRUBER.Exchange"
+	MethodStatus   = "DIGRUBER.Status"
+	// MethodSchedule is the paper's proposed tighter coupling between
+	// broker and job manager: one round trip in which the decision point
+	// runs the site selection itself and records the dispatch, instead
+	// of shipping full site state to the client and waiting for a
+	// report. See the coupling ablation.
+	MethodSchedule = "DIGRUBER.ScheduleJob"
+	// MethodProposeAgreement installs or updates a WS-Agreement-style
+	// USLA at runtime — the paper's "interactions relating to USLA
+	// modification" that load the brokering service alongside queries.
+	// Under the usage-and-USLAs strategy the new rules flood to peers at
+	// the next exchange.
+	MethodProposeAgreement = "DIGRUBER.ProposeAgreement"
+	// MethodPublishedAgreements returns the decision point's current
+	// USLA knowledge as agreements, for consumers to "access and
+	// interpret USLA statements published by providers".
+	MethodPublishedAgreements = "DIGRUBER.PublishedAgreements"
+)
+
+// ProposeArgs carries one agreement document (XML, as a WS-Agreement
+// subset) to install.
+type ProposeArgs struct {
+	AgreementXML []byte
+}
+
+// ProposeReply reports how many USLA entries the agreement contributed
+// (0 if it was already expired).
+type ProposeReply struct {
+	EntriesAdded int
+	Warnings     []string
+}
+
+// PublishedArgs optionally filters by provider ("" = all).
+type PublishedArgs struct {
+	Provider string
+}
+
+// PublishedReply returns agreements as XML documents.
+type PublishedReply struct {
+	AgreementsXML [][]byte
+}
+
+// ScheduleArgs asks the decision point to select a site and record the
+// dispatch in one interaction.
+type ScheduleArgs struct {
+	JobID   string
+	Owner   string
+	CPUs    int
+	Runtime time.Duration
+}
+
+// ScheduleReply returns the chosen site (OK false when no site
+// qualifies under USLAs and availability).
+type ScheduleReply struct {
+	Site string
+	OK   bool
+}
+
+// QueryArgs asks for the engine's evaluation of every site for a job.
+type QueryArgs struct {
+	// Owner is the dotted consumer path of the job.
+	Owner string
+	// CPUs is the job's CPU demand.
+	CPUs int
+}
+
+// QueryReply carries the per-site evaluations. Its size (hundreds of
+// sites) is what makes a DI-GRUBER query so much heavier than the simple
+// service call of Figure 1.
+type QueryReply struct {
+	Loads []gruber.SiteLoad
+}
+
+// ReportArgs informs the decision point of the client's site selection.
+type ReportArgs struct {
+	Dispatch gruber.Dispatch
+}
+
+// ReportReply acknowledges a dispatch report.
+type ReportReply struct {
+	OK bool
+}
+
+// ExchangeArgs is one peer-to-peer synchronization message: the sender's
+// own dispatch observations since its last successful exchange with this
+// peer, plus (under the usage-and-USLAs strategy) USLA entries.
+type ExchangeArgs struct {
+	From       string
+	Dispatches []gruber.Dispatch
+	USLAs      []usla.Entry
+}
+
+// ExchangeReply reports how many records were new to the receiver.
+type ExchangeReply struct {
+	Merged int
+}
+
+// StatusArgs requests a decision point's self-assessment.
+type StatusArgs struct{}
+
+// StatusReply is a decision point's health/load report, the raw material
+// for the third-party reconfiguration monitor of Section 5.
+type StatusReply struct {
+	Name string
+	// Queries etc. mirror the engine counters.
+	Queries          int64
+	LocalDispatches  int64
+	RemoteDispatches int64
+	// Received/Completed/Shed/InFlight/Queued mirror the service stack.
+	Received  int64
+	Completed int64
+	Shed      int64
+	InFlight  int64
+	Queued    int
+	// Saturated is the decision point's own saturation verdict.
+	Saturated bool
+	// ObservedRate is the recent request arrival rate (req/s).
+	ObservedRate float64
+	// CapacityRate is the DiPerF-calibrated sustainable rate (req/s).
+	CapacityRate float64
+	// At is the decision point's local (virtual) time of the report.
+	At time.Time
+}

@@ -1,0 +1,120 @@
+package digruber
+
+import (
+	"sync"
+	"time"
+
+	"digruber/internal/vtime"
+	"digruber/internal/wire"
+)
+
+// SaturationConfig tunes the per-decision-point saturation detector of
+// Section 5: "use performance models created by DiPerF to establish an
+// upper bound on the number of transactions that a decision point can
+// handle per time interval".
+type SaturationConfig struct {
+	// CapacityRate is the DiPerF-calibrated sustainable request rate in
+	// req/s. 0 means self-calibrate from observed service times
+	// (workers / mean service time).
+	CapacityRate float64
+	// Window is the sliding window over which the arrival rate is
+	// measured.
+	Window time.Duration
+	// QueueThreshold declares saturation whenever this many requests are
+	// waiting for a worker, regardless of rates. 0 means 3× the
+	// container's worker count.
+	QueueThreshold int
+	// Workers is the container's parallelism, used for defaults and
+	// self-calibration.
+	Workers int
+}
+
+func (c *SaturationConfig) setDefaults() {
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueThreshold <= 0 {
+		c.QueueThreshold = 3 * c.Workers
+	}
+}
+
+// SaturationDetector watches one decision point's request stream and
+// decides when the point has reached its saturation state. Saturation
+// events feed the third-party Overseer, which decides whether to deploy
+// additional decision points.
+type SaturationDetector struct {
+	cfg   SaturationConfig
+	clock vtime.Clock
+
+	mu       sync.Mutex
+	arrivals []time.Time // ring of arrival timestamps within Window
+	events   int         // transitions into saturation
+	wasSat   bool
+}
+
+// NewSaturationDetector returns a detector with the given config.
+func NewSaturationDetector(cfg SaturationConfig, clock vtime.Clock) *SaturationDetector {
+	cfg.setDefaults()
+	return &SaturationDetector{cfg: cfg, clock: clock}
+}
+
+// ObserveArrival records one request arrival.
+func (d *SaturationDetector) ObserveArrival() {
+	now := d.clock.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.arrivals = append(d.arrivals, now)
+	d.pruneLocked(now)
+}
+
+func (d *SaturationDetector) pruneLocked(now time.Time) {
+	cut := now.Add(-d.cfg.Window)
+	i := 0
+	for i < len(d.arrivals) && d.arrivals[i].Before(cut) {
+		i++
+	}
+	if i > 0 {
+		d.arrivals = append(d.arrivals[:0], d.arrivals[i:]...)
+	}
+}
+
+// ObservedRate reports the arrival rate over the sliding window, req/s.
+func (d *SaturationDetector) ObservedRate() float64 {
+	now := d.clock.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.pruneLocked(now)
+	return float64(len(d.arrivals)) / d.cfg.Window.Seconds()
+}
+
+// Assess combines the arrival rate with the service stack's state and
+// returns (observed rate, capacity rate, saturated). A decision point is
+// saturated when its accept queue has built past the threshold or its
+// arrival rate exceeds the modeled capacity.
+func (d *SaturationDetector) Assess(ss wire.Stats) (observed, capacity float64, saturated bool) {
+	observed = d.ObservedRate()
+	capacity = d.cfg.CapacityRate
+	if capacity == 0 && ss.ServiceMean > 0 {
+		capacity = float64(d.cfg.Workers) / ss.ServiceMean
+	}
+	saturated = ss.Queued >= d.cfg.QueueThreshold ||
+		(capacity > 0 && observed > capacity)
+
+	d.mu.Lock()
+	if saturated && !d.wasSat {
+		d.events++
+	}
+	d.wasSat = saturated
+	d.mu.Unlock()
+	return observed, capacity, saturated
+}
+
+// Events reports how many distinct saturation episodes have started.
+func (d *SaturationDetector) Events() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.events
+}

@@ -1,0 +1,187 @@
+package digruber
+
+import (
+	"testing"
+	"time"
+
+	"digruber/internal/vtime"
+	"digruber/internal/wire"
+)
+
+func TestSaturationDetectorRates(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	d := NewSaturationDetector(SaturationConfig{CapacityRate: 2, Window: 10 * time.Second, Workers: 2}, clock)
+	// 10 arrivals in 10s = 1 req/s: under capacity.
+	for i := 0; i < 10; i++ {
+		d.ObserveArrival()
+		clock.Advance(time.Second)
+	}
+	obs, cap0, sat := d.Assess(wire.Stats{})
+	if sat {
+		t.Fatalf("saturated at %v req/s with capacity %v", obs, cap0)
+	}
+	// Burst to 5 req/s: over capacity.
+	for i := 0; i < 50; i++ {
+		d.ObserveArrival()
+		clock.Advance(200 * time.Millisecond)
+	}
+	obs, _, sat = d.Assess(wire.Stats{})
+	if !sat {
+		t.Fatalf("not saturated at %v req/s with capacity 2", obs)
+	}
+	if d.Events() != 1 {
+		t.Fatalf("events = %d, want 1", d.Events())
+	}
+}
+
+func TestSaturationWindowForgets(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	d := NewSaturationDetector(SaturationConfig{CapacityRate: 1, Window: 10 * time.Second}, clock)
+	for i := 0; i < 100; i++ {
+		d.ObserveArrival()
+	}
+	if _, _, sat := d.Assess(wire.Stats{}); !sat {
+		t.Fatal("burst not detected")
+	}
+	clock.Advance(time.Minute)
+	if _, _, sat := d.Assess(wire.Stats{}); sat {
+		t.Fatal("saturation persisted after window elapsed")
+	}
+	// A new episode counts as a second event.
+	for i := 0; i < 100; i++ {
+		d.ObserveArrival()
+	}
+	d.Assess(wire.Stats{})
+	if d.Events() != 2 {
+		t.Fatalf("events = %d, want 2", d.Events())
+	}
+}
+
+func TestSaturationQueueThreshold(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	d := NewSaturationDetector(SaturationConfig{Window: time.Minute, Workers: 4}, clock)
+	// Default threshold = 3×4 = 12 queued.
+	if _, _, sat := d.Assess(wire.Stats{Queued: 11}); sat {
+		t.Fatal("saturated below queue threshold")
+	}
+	if _, _, sat := d.Assess(wire.Stats{Queued: 12}); !sat {
+		t.Fatal("not saturated at queue threshold")
+	}
+}
+
+func TestSaturationSelfCalibration(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	d := NewSaturationDetector(SaturationConfig{Window: 10 * time.Second, Workers: 4}, clock)
+	// Mean service time 2s with 4 workers → capacity 2 req/s.
+	_, cap0, _ := d.Assess(wire.Stats{ServiceMean: 2})
+	if cap0 != 2 {
+		t.Fatalf("self-calibrated capacity = %v, want 2", cap0)
+	}
+}
+
+func TestOverseerEventsAndRecommendation(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	o := NewOverseer(clock)
+	saturatedA := true
+	o.Attach("dp-a", func() StatusReply {
+		return StatusReply{Saturated: saturatedA, ObservedRate: 6, CapacityRate: 2}
+	})
+	o.Attach("dp-b", func() StatusReply {
+		return StatusReply{Saturated: false, ObservedRate: 1, CapacityRate: 2}
+	})
+	replies := o.Poll()
+	if len(replies) != 2 || replies[0].Name != "dp-a" {
+		t.Fatalf("poll = %+v", replies)
+	}
+	if len(o.Events()) != 1 || o.Events()[0].DP != "dp-a" {
+		t.Fatalf("events = %+v", o.Events())
+	}
+	rec := o.Recommend()
+	// Total observed 7 req/s over per-point capacity 2 → 4 DPs needed.
+	if rec.Current != 2 || rec.Needed != 4 {
+		t.Fatalf("recommendation = %+v, want needed 4", rec)
+	}
+	if len(rec.Saturated) != 1 || rec.Saturated[0] != "dp-a" {
+		t.Fatalf("saturated list = %v", rec.Saturated)
+	}
+	// Same saturated point again: no duplicate event.
+	o.Poll()
+	if len(o.Events()) != 1 {
+		t.Fatal("duplicate saturation event recorded")
+	}
+	// Recovery then relapse: second event.
+	saturatedA = false
+	o.Poll()
+	saturatedA = true
+	o.Poll()
+	if len(o.Events()) != 2 {
+		t.Fatalf("events after relapse = %d, want 2", len(o.Events()))
+	}
+}
+
+func TestOverseerSaturatedButUnderRateGrowsByOne(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	o := NewOverseer(clock)
+	// Queue-based saturation without rate overload still forces growth.
+	o.Attach("dp-a", func() StatusReply {
+		return StatusReply{Saturated: true, ObservedRate: 1, CapacityRate: 2}
+	})
+	o.Poll()
+	rec := o.Recommend()
+	if rec.Needed != 2 {
+		t.Fatalf("needed = %d, want current+1 = 2", rec.Needed)
+	}
+}
+
+func TestOverseerEmpty(t *testing.T) {
+	o := NewOverseer(vtime.NewManual(epoch))
+	rec := o.Recommend()
+	if rec.Current != 0 || rec.Needed != 0 || len(rec.Saturated) != 0 {
+		t.Fatalf("empty recommendation = %+v", rec)
+	}
+}
+
+func TestDecisionPointSaturatesUnderBurst(t *testing.T) {
+	clock := vtime.NewReal()
+	mem := wire.NewMem()
+	dp, err := New(Config{
+		Name: "dp-slow", Addr: "dp-slow", Transport: mem, Clock: clock,
+		Profile:    wire.StackProfile{Name: "slow", BaseOverhead: 200 * time.Millisecond, MaxConcurrent: 1, QueueLimit: 64},
+		Saturation: SaturationConfig{Window: 5 * time.Second, QueueThreshold: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.Engine().UpdateSites(testStatuses(100), clock.Now())
+	if err := dp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Stop()
+
+	// Fire 8 concurrent queries at a 1-worker container: queue builds.
+	results := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			cli := wire.NewClient(wire.ClientConfig{
+				Node: "c", ServerNode: "dp-slow", Addr: "dp-slow", Transport: mem, Clock: clock,
+			})
+			defer cli.Close()
+			_, err := wire.Call[QueryArgs, QueryReply](cli, MethodQuery, QueryArgs{Owner: "atlas", CPUs: 1}, 10*time.Second)
+			results <- err
+		}(i)
+	}
+	sawSaturated := false
+	for i := 0; i < 100; i++ {
+		if st := dp.Status(); st.Saturated {
+			sawSaturated = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for i := 0; i < 8; i++ {
+		<-results
+	}
+	if !sawSaturated {
+		t.Fatal("decision point never reported saturation under burst")
+	}
+}

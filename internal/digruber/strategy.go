@@ -1,0 +1,36 @@
+package digruber
+
+import "fmt"
+
+// DisseminationStrategy selects what decision points exchange (paper
+// Section 3.5 lists the three approaches).
+type DisseminationStrategy int
+
+// Dissemination strategies.
+const (
+	// UsageOnly exchanges only utilization information (dispatches);
+	// USLAs are static local knowledge. This is the strategy the paper's
+	// experiments use — "the simplified implementation by avoiding USLA
+	// tracking".
+	UsageOnly DisseminationStrategy = iota
+	// UsageAndUSLAs exchanges both dispatches and USLA entries, so
+	// runtime policy changes propagate between decision points.
+	UsageAndUSLAs
+	// NoExchange disables synchronization: each decision point relies
+	// only on its own observations.
+	NoExchange
+)
+
+// String names the strategy.
+func (s DisseminationStrategy) String() string {
+	switch s {
+	case UsageOnly:
+		return "usage-only"
+	case UsageAndUSLAs:
+		return "usage-and-uslas"
+	case NoExchange:
+		return "no-exchange"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}

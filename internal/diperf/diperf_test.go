@@ -1,0 +1,180 @@
+package diperf
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"digruber/internal/vtime"
+)
+
+var epoch = time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+
+func TestRunCollectsOps(t *testing.T) {
+	clock := vtime.NewScaled(epoch, 1000) // 1 virtual s = 1 real ms
+	var ops atomic.Int64
+	res, err := Run(Config{
+		Testers:      4,
+		Stagger:      0,
+		Interarrival: time.Second,
+		Duration:     20 * time.Second,
+		Window:       5 * time.Second,
+		Clock:        clock,
+	}, func(t, seq int) OpResult {
+		ops.Add(1)
+		clock.Sleep(100 * time.Millisecond)
+		return OpResult{Handled: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != int(ops.Load()) || res.Ops == 0 {
+		t.Fatalf("ops = %d vs %d", res.Ops, ops.Load())
+	}
+	if res.Handled != res.Ops || res.Errors != 0 {
+		t.Fatalf("handled=%d errors=%d ops=%d", res.Handled, res.Errors, res.Ops)
+	}
+	// Each cycle costs ≈1–2s virtual (op + interarrival + compression
+	// overhead), so expect at least ~7 ops per tester over 20s.
+	if res.Ops < 4*7 {
+		t.Fatalf("suspiciously few ops: %d", res.Ops)
+	}
+	if res.PeakThroughput <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	// At 1000× compression, per-op scheduler overhead of ~1 real ms reads
+	// as ~1 virtual second, so only a loose upper band is meaningful here;
+	// production experiments run at gentler speedups.
+	if res.ResponseSummary.Mean < 0.08 || res.ResponseSummary.Mean > 5 {
+		t.Fatalf("mean response %v, want within [0.08, 5]s", res.ResponseSummary.Mean)
+	}
+}
+
+func TestRampUpShowsInLoadCurve(t *testing.T) {
+	clock := vtime.NewScaled(epoch, 1000)
+	res, err := Run(Config{
+		Testers:      10,
+		Stagger:      10 * time.Second,
+		Interarrival: time.Second,
+		Duration:     100 * time.Second,
+		Window:       10 * time.Second,
+		Clock:        clock,
+	}, func(t, seq int) OpResult { return OpResult{Handled: true} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LoadCurve) < 5 {
+		t.Fatalf("load curve too short: %d", len(res.LoadCurve))
+	}
+	early := res.LoadCurve[1]
+	late := res.LoadCurve[len(res.LoadCurve)-2]
+	if late <= early {
+		t.Fatalf("load did not ramp: early=%v late=%v curve=%v", early, late, res.LoadCurve)
+	}
+}
+
+func TestHandledVsUnhandledSplit(t *testing.T) {
+	clock := vtime.NewScaled(epoch, 1000)
+	res, err := Run(Config{
+		Testers: 2, Interarrival: time.Second, Duration: 10 * time.Second,
+		Window: 5 * time.Second, Clock: clock,
+	}, func(t, seq int) OpResult {
+		return OpResult{Handled: seq%2 == 0}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Handled >= res.Ops || res.Handled == 0 {
+		t.Fatalf("handled=%d ops=%d, want a strict split", res.Handled, res.Ops)
+	}
+}
+
+func TestErrorsCounted(t *testing.T) {
+	clock := vtime.NewScaled(epoch, 1000)
+	res, err := Run(Config{
+		Testers: 1, Interarrival: time.Second, Duration: 5 * time.Second,
+		Window: time.Second, Clock: clock,
+	}, func(t, seq int) OpResult {
+		return OpResult{Err: errors.New("boom")}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != res.Ops || res.Errors == 0 {
+		t.Fatalf("errors=%d ops=%d", res.Errors, res.Ops)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	clock := vtime.NewReal()
+	if _, err := Run(Config{Duration: time.Second, Clock: clock}, nil); err == nil {
+		t.Fatal("zero testers accepted")
+	}
+	if _, err := Run(Config{Testers: 1, Clock: clock}, nil); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := Run(Config{Testers: 1, Duration: time.Second}, nil); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+}
+
+func TestRenderAndSummary(t *testing.T) {
+	clock := vtime.NewScaled(epoch, 1000)
+	res, err := Run(Config{
+		Testers: 2, Interarrival: time.Second, Duration: 6 * time.Second,
+		Window: 2 * time.Second, Clock: clock,
+	}, func(t, seq int) OpResult { return OpResult{Handled: true} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := res.Render()
+	for _, want := range []string{"load", "response(s)", "tput(q/s)"} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("render missing %q", want)
+		}
+	}
+	line := res.SummaryLine()
+	for _, want := range []string{"peak tput", "handled", "min="} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("summary missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestSlowServiceShowsInResponseCurve(t *testing.T) {
+	// Gentle 200x compression keeps scheduler noise (~1ms real = 0.2s
+	// virtual) far below the 3s slowdown being detected.
+	clock := vtime.NewScaled(epoch, 200)
+	slow := false
+	res, err := Run(Config{
+		Testers: 1, Interarrival: time.Second, Duration: 40 * time.Second,
+		Window: 10 * time.Second, Clock: clock,
+	}, func(t, seq int) OpResult {
+		if seq > 5 {
+			slow = true
+		}
+		if slow {
+			clock.Sleep(3 * time.Second)
+		} else {
+			clock.Sleep(100 * time.Millisecond)
+		}
+		return OpResult{Handled: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The final bucket can be empty (test ends mid-window): compare the
+	// curve's peak against its start.
+	first := res.ResponseCurve[0]
+	peak := first
+	for _, v := range res.ResponseCurve[1:] {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak <= first*1.2 {
+		t.Fatalf("response curve flat despite slowdown: %v", res.ResponseCurve)
+	}
+}

@@ -1,0 +1,187 @@
+package euryale
+
+import (
+	"fmt"
+	"sync"
+
+	"digruber/internal/grid"
+)
+
+// Node is one vertex of a DagMan-style workflow: a job plus its file
+// inputs/outputs and the nodes that must complete first.
+type Node struct {
+	ID      string
+	Job     *grid.Job
+	Inputs  []string
+	Outputs []string
+	Parents []string
+}
+
+// DAG is a workflow of dependent jobs, executed by Planner.RunDAG the
+// way DagMan drives Euryale's prescripts and postscripts.
+type DAG struct {
+	nodes map[string]*Node
+	order []string
+}
+
+// NewDAG returns an empty workflow.
+func NewDAG() *DAG { return &DAG{nodes: make(map[string]*Node)} }
+
+// Add inserts a node. Parent references are validated at Run time so
+// nodes may be added in any order.
+func (d *DAG) Add(n Node) error {
+	if n.ID == "" {
+		return fmt.Errorf("euryale: DAG node with empty ID")
+	}
+	if _, dup := d.nodes[n.ID]; dup {
+		return fmt.Errorf("euryale: duplicate DAG node %q", n.ID)
+	}
+	if n.Job == nil {
+		return fmt.Errorf("euryale: DAG node %q has no job", n.ID)
+	}
+	copied := n
+	d.nodes[n.ID] = &copied
+	d.order = append(d.order, n.ID)
+	return nil
+}
+
+// Len reports the number of nodes.
+func (d *DAG) Len() int { return len(d.order) }
+
+// validate checks parent references and rejects cycles, returning a
+// topological order.
+func (d *DAG) validate() ([]string, error) {
+	indeg := make(map[string]int, len(d.nodes))
+	children := make(map[string][]string, len(d.nodes))
+	for id, n := range d.nodes {
+		if _, ok := indeg[id]; !ok {
+			indeg[id] = 0
+		}
+		for _, p := range n.Parents {
+			if _, ok := d.nodes[p]; !ok {
+				return nil, fmt.Errorf("euryale: node %q references unknown parent %q", id, p)
+			}
+			indeg[id]++
+			children[p] = append(children[p], id)
+		}
+	}
+	var ready []string
+	for _, id := range d.order {
+		if indeg[id] == 0 {
+			ready = append(ready, id)
+		}
+	}
+	var topo []string
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		topo = append(topo, id)
+		for _, c := range children[id] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				ready = append(ready, c)
+			}
+		}
+	}
+	if len(topo) != len(d.nodes) {
+		return nil, fmt.Errorf("euryale: DAG contains a cycle")
+	}
+	return topo, nil
+}
+
+// RunDAG executes the workflow with at most parallelism concurrent jobs.
+// A node runs once all its parents completed successfully; descendants
+// of a failed node are marked failed without running. The returned map
+// has one Result per node.
+func (p *Planner) RunDAG(d *DAG, parallelism int) (map[string]Result, error) {
+	topo, err := d.validate()
+	if err != nil {
+		return nil, err
+	}
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+
+	var mu sync.Mutex
+	results := make(map[string]Result, len(topo))
+	failed := make(map[string]bool)
+	remainingParents := make(map[string]int, len(topo))
+	children := make(map[string][]string)
+	for id, n := range d.nodes {
+		remainingParents[id] = len(n.Parents)
+		for _, parent := range n.Parents {
+			children[parent] = append(children[parent], id)
+		}
+	}
+
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	var run func(id string)
+
+	// markFailed cascades failure to descendants that can never run.
+	var markFailed func(id string, reason string)
+	markFailed = func(id, reason string) {
+		if failed[id] {
+			return
+		}
+		failed[id] = true
+		if _, done := results[id]; !done {
+			results[id] = Result{Outcome: grid.Outcome{
+				Job: d.nodes[id].Job, Failed: true,
+				FailureReason: reason,
+			}}
+		}
+		for _, c := range children[id] {
+			markFailed(c, fmt.Sprintf("upstream node %s failed", id))
+		}
+	}
+
+	scheduleChildren := func(id string, ok bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !ok {
+			markFailed(id, results[id].Outcome.FailureReason)
+			return
+		}
+		for _, c := range children[id] {
+			remainingParents[c]--
+			if remainingParents[c] == 0 && !failed[c] {
+				wg.Add(1)
+				go run(c)
+			}
+		}
+	}
+
+	run = func(id string) {
+		defer wg.Done()
+		sem <- struct{}{}
+		node := d.nodes[id]
+		res, err := p.RunJob(node.Job, node.Inputs, node.Outputs)
+		<-sem
+		mu.Lock()
+		results[id] = res
+		mu.Unlock()
+		scheduleChildren(id, err == nil)
+	}
+
+	for _, id := range topo {
+		if remainingParents[id] == 0 {
+			wg.Add(1)
+			go run(id)
+		}
+	}
+	wg.Wait()
+
+	// Nodes whose parents failed never ran; make sure each has a result.
+	mu.Lock()
+	for _, id := range topo {
+		if _, ok := results[id]; !ok {
+			results[id] = Result{Outcome: grid.Outcome{
+				Job: d.nodes[id].Job, Failed: true,
+				FailureReason: "upstream failure",
+			}}
+		}
+	}
+	mu.Unlock()
+	return results, nil
+}

@@ -1,0 +1,201 @@
+package euryale
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"digruber/internal/gram"
+	"digruber/internal/grid"
+	"digruber/internal/netsim"
+	"digruber/internal/replica"
+	"digruber/internal/usla"
+	"digruber/internal/vtime"
+)
+
+// env assembles a small grid, a selector preferring the emptiest site,
+// and a planner over them, all on the real clock with tiny runtimes.
+type env struct {
+	g       *grid.Grid
+	cat     *replica.Catalog
+	planner *Planner
+	picks   []string
+}
+
+func newEnv(t *testing.T, failProbBySite map[string]float64) *env {
+	t.Helper()
+	clock := vtime.NewReal()
+	g := grid.New(clock)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("site-%d", i)
+		cfg := grid.SiteConfig{Name: name, Clusters: []int{4}}
+		if p := failProbBySite[name]; p > 0 {
+			cfg.FailProb = p
+			cfg.RNG = netsim.Stream(1, "fail/"+name)
+		}
+		if _, err := g.AddSite(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := &env{g: g, cat: replica.NewCatalog()}
+	selector := SelectorFunc(func(j *grid.Job, excluded map[string]bool) (string, bool, error) {
+		best, bestFree := "", -1
+		for _, s := range g.Sites() {
+			if excluded[s.Name()] {
+				continue
+			}
+			if free := g.FreeCPUsAt(s.Name()); free > bestFree {
+				best, bestFree = s.Name(), free
+			}
+		}
+		if best == "" {
+			return "", false, errors.New("no site available")
+		}
+		e.picks = append(e.picks, best)
+		return best, true, nil
+	})
+	submitter := gram.NewSubmitter(g, nil, clock, gram.Config{})
+	p, err := New(selector, submitter, e.cat, nil, clock, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.planner = p
+	return e
+}
+
+func testJob(id string) *grid.Job {
+	return &grid.Job{
+		ID: grid.JobID(id), Owner: usla.MustParsePath("atlas"),
+		CPUs: 1, Runtime: time.Millisecond, SubmitHost: "host-0",
+	}
+}
+
+func TestRunJobSuccess(t *testing.T) {
+	e := newEnv(t, nil)
+	res, err := e.planner.RunJob(testJob("j1"), nil, []string{"out.dat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 || !res.Handled || res.Outcome.Failed {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.SubmitFiles) != 1 || res.SubmitFiles[0].Site == "" {
+		t.Fatalf("submit files = %+v", res.SubmitFiles)
+	}
+	// Postscript registered the output at the collection area.
+	copies := e.cat.Lookup("out.dat")
+	if len(copies) != 1 || copies[0].Site != "collection" {
+		t.Fatalf("output registration = %+v", copies)
+	}
+}
+
+func TestReplanningAvoidsFailedSite(t *testing.T) {
+	// site-0 has most free CPUs... all equal; selector picks site-0
+	// first. Make site-0 always fail: the planner must re-plan away.
+	e := newEnv(t, map[string]float64{"site-0": 1.0})
+	res, err := e.planner.RunJob(testJob("j1"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts < 2 {
+		t.Fatalf("attempts = %d, want re-planning", res.Attempts)
+	}
+	if res.Outcome.Failed {
+		t.Fatalf("job failed despite healthy alternatives: %+v", res.Outcome)
+	}
+	if res.Outcome.Site == "site-0" {
+		t.Fatal("re-planned job still landed on the failing site")
+	}
+	// Placement history shows the failed attempt.
+	if res.SubmitFiles[0].Site != "site-0" {
+		t.Fatalf("first placement = %s, want site-0", res.SubmitFiles[0].Site)
+	}
+}
+
+func TestRunJobExhaustsAttempts(t *testing.T) {
+	e := newEnv(t, map[string]float64{"site-0": 1, "site-1": 1, "site-2": 1})
+	res, err := e.planner.RunJob(testJob("j1"), nil, nil)
+	if err == nil {
+		t.Fatal("expected failure when every site fails")
+	}
+	if !res.Outcome.Failed || res.Attempts != 3 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestStageInMovesMissingInputs(t *testing.T) {
+	clock := vtime.NewReal()
+	g := grid.New(clock)
+	g.AddSite(grid.SiteConfig{Name: "cern", Clusters: []int{4}})
+	g.AddSite(grid.SiteConfig{Name: "fnal", Clusters: []int{4}})
+	cat := replica.NewCatalog()
+	cat.Register("raw.dat", replica.PFN{Site: "cern", Path: "/raw", Size: 4 << 20})
+
+	network := netsim.New(1, netsim.Profile{Name: "fast", MedianLatency: time.Microsecond, Bandwidth: 1e12})
+	selector := SelectorFunc(func(*grid.Job, map[string]bool) (string, bool, error) { return "fnal", true, nil })
+	submitter := gram.NewSubmitter(g, nil, clock, gram.Config{})
+	p, _ := New(selector, submitter, cat, network, clock, Config{})
+
+	res, err := p.RunJob(testJob("j1"), []string{"raw.dat"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StageInTime <= 0 {
+		t.Fatal("no stage-in cost paid for a remote input")
+	}
+	// The transfer registered a new local copy and bumped popularity.
+	if pfn, ok := cat.Nearest("raw.dat", "fnal"); !ok || pfn.Site != "fnal" {
+		t.Fatalf("no local copy registered: %+v", pfn)
+	}
+	if cat.Popularity("raw.dat") != 1 {
+		t.Fatal("postscript did not update popularity")
+	}
+
+	// Second run: input already local, no cost.
+	res2, err := p.RunJob(testJob("j2"), []string{"raw.dat"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.StageInTime != 0 {
+		t.Fatalf("stage-in cost %v for a local input", res2.StageInTime)
+	}
+}
+
+func TestPlannerValidation(t *testing.T) {
+	clock := vtime.NewReal()
+	if _, err := New(nil, nil, nil, nil, clock, Config{}); err == nil {
+		t.Fatal("nil selector/submitter accepted")
+	}
+}
+
+func TestGramTransientFailure(t *testing.T) {
+	clock := vtime.NewReal()
+	g := grid.New(clock)
+	g.AddSite(grid.SiteConfig{Name: "s", Clusters: []int{2}})
+	sub := gram.NewSubmitter(g, nil, clock, gram.Config{TransientFailProb: 1, RNG: netsim.Stream(1, "g")})
+	if _, err := sub.Submit("h", "s", testJob("j")); err == nil {
+		t.Fatal("transient failure not injected")
+	}
+	if _, failed := sub.Stats(); failed != 1 {
+		t.Fatal("failure not counted")
+	}
+	if _, err := sub.Submit("h", "nowhere", testJob("j")); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+}
+
+func TestGramPaysLatency(t *testing.T) {
+	clock := vtime.NewReal()
+	g := grid.New(clock)
+	g.AddSite(grid.SiteConfig{Name: "s", Clusters: []int{2}})
+	network := netsim.New(1, netsim.Profile{Name: "slow", MedianLatency: 30 * time.Millisecond})
+	sub := gram.NewSubmitter(g, network, clock, gram.Config{SubmitOverhead: 10 * time.Millisecond})
+	start := time.Now()
+	if _, err := sub.Submit("h", "s", testJob("j")); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e < 35*time.Millisecond {
+		t.Fatalf("submit took %v, want ≥ latency+overhead", e)
+	}
+}

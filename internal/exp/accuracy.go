@@ -1,0 +1,72 @@
+package exp
+
+import (
+	"time"
+
+	"digruber/internal/wire"
+)
+
+// AccuracyPoint is one point of Figures 8/12: scheduling accuracy of a
+// three-decision-point deployment as a function of the state-exchange
+// interval.
+type AccuracyPoint struct {
+	Interval time.Duration
+	// HandledAccuracy is mean SA over broker-handled jobs.
+	HandledAccuracy float64
+	// OverallAccuracy covers all jobs.
+	OverallAccuracy float64
+	// HandledPct is the share of requests the brokers answered in time.
+	HandledPct float64
+}
+
+// DefaultExchangeIntervals are the sweep points the paper tests.
+func DefaultExchangeIntervals() []time.Duration {
+	return []time.Duration{1 * time.Minute, 3 * time.Minute, 10 * time.Minute, 30 * time.Minute}
+}
+
+// RunAccuracySweep runs the exchange-interval sweep on a 3-DP deployment
+// with the given toolkit profile, executing jobs so accuracy is measured
+// against ground truth.
+func RunAccuracySweep(scale Scale, profile wire.StackProfile, intervals []time.Duration, seed int64) ([]AccuracyPoint, error) {
+	if intervals == nil {
+		intervals = DefaultExchangeIntervals()
+	}
+	clients := scale.Clients
+	if profile.Name == "GT4" {
+		clients = scale.Clients * 2 / 3
+	}
+	points := make([]AccuracyPoint, 0, len(intervals))
+	for _, interval := range intervals {
+		res, err := RunScenario(ScenarioConfig{
+			Name:             "accuracy-" + interval.String(),
+			Scale:            scale,
+			Profile:          profile,
+			DPs:              3,
+			Clients:          clients,
+			ExchangeInterval: interval,
+			ExecuteJobs:      true,
+			Seed:             seed,
+			// Contended regime: long jobs at a brisk rate, so a stale
+			// view actually sends work to sites that peers have already
+			// filled.
+			Interarrival: 2 * time.Second,
+			MeanRuntime:  scale.Duration / 2,
+			JobCPUs:      1,
+			SelectorName: "most-free",
+		})
+		if err != nil {
+			return nil, err
+		}
+		pct := 0.0
+		if res.DiPerF.Ops > 0 {
+			pct = float64(res.DiPerF.Handled) / float64(res.DiPerF.Ops) * 100
+		}
+		points = append(points, AccuracyPoint{
+			Interval:        interval,
+			HandledAccuracy: res.HandledAccuracy,
+			OverallAccuracy: res.OverallAccuracy,
+			HandledPct:      pct,
+		})
+	}
+	return points, nil
+}

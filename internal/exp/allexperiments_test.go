@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRunsAtTinyScale executes the complete registry —
+// all figures, tables, ablations and extensions — against the tiny
+// scale, asserting each produces a non-empty report without error. This
+// is the end-to-end guarantee that `cmd/experiments -run all` works.
+func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment (~30s)")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			report, err := e.Run(tinyScale())
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(strings.TrimSpace(report)) == 0 {
+				t.Fatalf("%s produced an empty report", e.ID)
+			}
+			if !strings.Contains(report, "==") {
+				t.Fatalf("%s report has no title banner:\n%s", e.ID, report)
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"digruber/internal/digruber"
+	"digruber/internal/wire"
+)
+
+// tinyScale keeps live-emulation unit tests to roughly a second of real
+// time each.
+func tinyScale() Scale {
+	return Scale{
+		Name:      "tiny",
+		Sites:     20,
+		TotalCPUs: 2000,
+		Clients:   12,
+		Duration:  3 * time.Minute,
+		Speedup:   200,
+		Window:    30 * time.Second,
+	}
+}
+
+func TestRunScenarioBasics(t *testing.T) {
+	res, err := RunScenario(ScenarioConfig{
+		Name:        "t-basic",
+		Scale:       tinyScale(),
+		Profile:     wire.GT3(),
+		DPs:         2,
+		ExecuteJobs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiPerF.Ops == 0 {
+		t.Fatal("no operations recorded")
+	}
+	if res.DiPerF.Errors != 0 {
+		t.Fatalf("%d hard errors", res.DiPerF.Errors)
+	}
+	if res.DiPerF.Handled == 0 {
+		t.Fatal("nothing handled by the brokers")
+	}
+	if res.Table.Rows[2].NumRequests != res.DiPerF.Ops {
+		t.Fatalf("table total %d != ops %d", res.Table.Rows[2].NumRequests, res.DiPerF.Ops)
+	}
+	if res.OverallAccuracy <= 0 || res.OverallAccuracy > 1 {
+		t.Fatalf("accuracy = %v", res.OverallAccuracy)
+	}
+	if res.CompletedJobs == 0 {
+		t.Fatal("no jobs completed on the grid")
+	}
+	if res.Util <= 0 {
+		t.Fatal("zero utilization despite completed jobs")
+	}
+}
+
+func TestRunScenarioValidation(t *testing.T) {
+	if _, err := RunScenario(ScenarioConfig{Name: "x", DPs: 0}); err == nil {
+		t.Fatal("zero DPs accepted")
+	}
+}
+
+func TestScenarioExchangeHappens(t *testing.T) {
+	res, err := RunScenario(ScenarioConfig{
+		Name:             "t-exchange",
+		Scale:            tinyScale(),
+		DPs:              3,
+		ExchangeInterval: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExchangeRounds == 0 {
+		t.Fatal("no exchange rounds completed")
+	}
+}
+
+func TestScenarioNoExchangeStrategy(t *testing.T) {
+	res, err := RunScenario(ScenarioConfig{
+		Name:     "t-noex",
+		Scale:    tinyScale(),
+		DPs:      2,
+		Strategy: digruber.NoExchange,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DiPerF.Ops == 0 {
+		t.Fatal("no ops")
+	}
+}
+
+func TestRunFig1Baseline(t *testing.T) {
+	res, err := RunFig1(Fig1Config{Scale: tinyScale()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.Handled == 0 {
+		t.Fatalf("fig1 produced no traffic: %+v", res)
+	}
+	if res.PeakThroughput <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+func TestRunTab3Quick(t *testing.T) {
+	rows, err := RunTab3(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (2 stacks × 3 starts)", len(rows))
+	}
+	for _, r := range rows {
+		if r.FinalDPs != r.InitialDPs+r.AdditionalDPs {
+			t.Fatalf("inconsistent row: %+v", r)
+		}
+		if r.InitialDPs < 10 && r.AdditionalDPs == 0 {
+			t.Fatalf("small start %d never grew: %+v", r.InitialDPs, r)
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"digruber/internal/digruber"
+	"digruber/internal/grid"
+	"digruber/internal/grubsim"
+	"digruber/internal/netsim"
+	"digruber/internal/usla"
+	"digruber/internal/vtime"
+	"digruber/internal/wire"
+)
+
+// extensionExperiments implement the paper's future-work proposals:
+//
+//   - ext-coupling: "the performance of DI-GRUBER could be enhanced ...
+//     by a tighter coupling between the resource broker and the job
+//     manager; this approach would reduce the complexity of the
+//     communication from two layers to one" — compared head to head.
+//   - ext-gt4c: "DI-GRUBER performance can be improved further by
+//     porting it to a C-based Web services core, such as is supported
+//     in GT4" — the GT4C profile vs GT3/GT4.
+//   - ext-dynamic-live: the Section 5 dynamic reconfiguration running
+//     live (the paper only simulated it): an overloaded fleet grows
+//     itself and rebalances clients mid-run.
+//   - ext-lan: the conclusion's observation that performance would be
+//     significantly better in a LAN environment.
+func extensionExperiments() []Experiment {
+	return []Experiment{
+		{ID: "ext-coupling", Title: "Extension: one-layer broker/job-manager coupling", Run: runCouplingExtension},
+		{ID: "ext-gt4c", Title: "Extension: C-based WS core (GT4C) stack", Run: runGT4CExtension},
+		{ID: "ext-dynamic-live", Title: "Extension: live dynamic decision-point provisioning", Run: runDynamicLiveExtension},
+		{ID: "ext-lan", Title: "Extension: LAN vs WAN deployment", Run: runLANExtension},
+		{ID: "ext-trace-replay", Title: "Extension: GRUB-SIM replaying a live-run trace", Run: runTraceReplayExtension},
+	}
+}
+
+// runTraceReplayExtension closes the loop the paper describes: run the
+// live emulation, record its request arrival trace, and feed that trace
+// to GRUB-SIM's dynamic provisioner to decide how many decision points
+// the recorded load needs.
+func runTraceReplayExtension(scale Scale) (string, error) {
+	live, err := RunScenario(ScenarioConfig{
+		Name:    "ext-trace-live",
+		Scale:   scale,
+		Profile: wire.GT3(),
+		DPs:     1,
+	})
+	if err != nil {
+		return "", err
+	}
+	if len(live.Trace) == 0 {
+		return "", fmt.Errorf("exp: live run produced an empty trace")
+	}
+	p := grubsim.GT3Params(1)
+	p.Dynamic = true
+	p.Duration = 0 // derive from the trace span
+	sim, err := grubsim.RunTrace(p, live.Trace)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("== Extension: GRUB-SIM on a recorded live trace (GT3, from 1 DP) ==\n")
+	fmt.Fprintf(&b, "live run: %d requests from %d clients over %s (peak %.2f q/s)\n",
+		len(live.Trace), live.Config.Clients, live.Trace.Span().Round(time.Second),
+		live.DiPerF.PeakThroughput)
+	fmt.Fprintf(&b, "replay:   handled=%d timed-out=%d shed=%d mean response=%s\n",
+		sim.Handled, sim.TimedOut, sim.Shed, sim.MeanResponse.Round(10*time.Millisecond))
+	fmt.Fprintf(&b, "provisioning verdict: %d decision point(s) required (added %d)\n",
+		sim.FinalDPs, sim.AddedDPs)
+	for i, at := range sim.AddTimes {
+		fmt.Fprintf(&b, "  +DP %d at t=%s\n", i+2, at.Round(time.Second))
+	}
+	return b.String(), nil
+}
+
+func runCouplingExtension(scale Scale) (string, error) {
+	var b strings.Builder
+	b.WriteString("== Extension: two-layer vs one-layer coupling (1 DP, GT3) ==\n")
+	fmt.Fprintf(&b, "%-10s %12s %14s %12s\n", "coupling", "peak q/s", "mean resp(s)", "handled%")
+	for _, single := range []bool{false, true} {
+		name := "two-layer"
+		if single {
+			name = "one-layer"
+		}
+		res, err := RunScenario(ScenarioConfig{
+			Name:        "ext-coupling-" + name,
+			Scale:       scale,
+			Profile:     wire.GT3(),
+			DPs:         1,
+			SingleCall:  single,
+			ExecuteJobs: true,
+		})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-10s %12.2f %14.2f %11.1f%%\n",
+			name, res.DiPerF.PeakThroughput, res.DiPerF.ResponseSummary.Mean,
+			pctOf(res.DiPerF.Handled, res.DiPerF.Ops))
+	}
+	b.WriteString("\nOne-layer scheduling ships no site state over the WAN and saves a\nround trip, so a single decision point carries several times the load.\n")
+	return b.String(), nil
+}
+
+func runGT4CExtension(scale Scale) (string, error) {
+	var b strings.Builder
+	b.WriteString("== Extension: service stack comparison (1 DP) ==\n")
+	fmt.Fprintf(&b, "%-6s %12s %14s %12s\n", "stack", "peak q/s", "mean resp(s)", "handled%")
+	for _, profile := range []wire.StackProfile{wire.GT3(), wire.GT4(), wire.GT4C()} {
+		res, err := RunScenario(ScenarioConfig{
+			Name:        "ext-stack-" + profile.Name,
+			Scale:       scale,
+			Profile:     profile,
+			DPs:         1,
+			ExecuteJobs: true,
+		})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-6s %12.2f %14.2f %11.1f%%\n",
+			profile.Name, res.DiPerF.PeakThroughput, res.DiPerF.ResponseSummary.Mean,
+			pctOf(res.DiPerF.Handled, res.DiPerF.Ops))
+	}
+	b.WriteString("\nThe C-based core removes the authentication/SOAP bottleneck the\npaper identifies, letting one decision point do the work of several.\n")
+	return b.String(), nil
+}
+
+func runLANExtension(scale Scale) (string, error) {
+	// LAN vs WAN: rerun the 3-DP GT3 scenario with the LAN profile by
+	// swapping the network inside a custom mini-run. RunScenario pins
+	// PlanetLab, so this extension uses the simulator where the WAN
+	// latency is an explicit parameter.
+	var b strings.Builder
+	b.WriteString("== Extension: WAN (PlanetLab) vs LAN deployment (GRUB-SIM, 10 DPs, unsaturated) ==\n")
+	fmt.Fprintf(&b, "%-6s %14s %12s\n", "net", "mean resp(s)", "tput(q/s)")
+	type regime struct {
+		name string
+		wan  time.Duration
+	}
+	for _, r := range []regime{{"wan", 60 * time.Millisecond}, {"lan", 300 * time.Microsecond}} {
+		p := grubsim.GT3Params(10)
+		p.WANLatency = r.wan
+		res, err := grubsim.Run(p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-6s %14.2f %12.2f\n", r.name, res.MeanResponse.Seconds(), res.Throughput)
+	}
+	b.WriteString("\nIn the unsaturated regime the WAN's round trips are a visible slice\nof every response; on a LAN they vanish — the conclusion's \"performance\nwill be significantly better in a LAN environment\".\n")
+	return b.String(), nil
+}
+
+func runDynamicLiveExtension(scale Scale) (string, error) {
+	clock := vtime.NewScaled(Epoch, scale.Speedup)
+	network := netsim.New(1, netsim.PlanetLab())
+	mem := wire.NewMem()
+
+	g, err := grid.Generate(grid.TopologyConfig{
+		Seed: 1, Sites: scale.Sites, TotalCPUs: scale.TotalCPUs, SizeSigma: 1, MaxClusterCPUs: 512,
+	}, clock)
+	if err != nil {
+		return "", err
+	}
+	defer g.Shutdown()
+	profile := wire.GT3()
+	profile.QueueLimit = 512
+	if scale.Sites < fullScaleSites {
+		profile.PerKB = time.Duration(float64(profile.PerKB) * float64(fullScaleSites) / float64(scale.Sites))
+	}
+
+	factory := func(idx int) (*digruber.DecisionPoint, error) {
+		dp, err := digruber.New(digruber.Config{
+			Name: fmt.Sprintf("dyn-dp-%d", idx), Node: fmt.Sprintf("dyn-dp-%d", idx),
+			Addr: fmt.Sprintf("dyn/dp-%d", idx), Transport: mem, Network: network,
+			Clock: clock, Profile: profile,
+			ExchangeInterval: 3 * time.Minute, Strategy: digruber.UsageOnly,
+			Saturation: digruber.SaturationConfig{Window: time.Minute},
+		})
+		if err != nil {
+			return nil, err
+		}
+		dp.Engine().UpdateSites(g.Snapshot(), clock.Now())
+		if err := dp.Start(); err != nil {
+			return nil, err
+		}
+		return dp, nil
+	}
+	first, err := factory(0)
+	if err != nil {
+		return "", err
+	}
+	prov, err := digruber.NewProvisioner(digruber.ProvisionerConfig{
+		Clock: clock, Factory: factory, Interval: time.Minute, MaxDPs: 8,
+	}, []*digruber.DecisionPoint{first})
+	if err != nil {
+		return "", err
+	}
+	defer func() {
+		for _, dp := range prov.Fleet() {
+			dp.Stop()
+		}
+	}()
+
+	clients := make([]*digruber.Client, scale.Clients)
+	for i := range clients {
+		c, err := digruber.NewClient(digruber.ClientConfig{
+			Name: fmt.Sprintf("dyn-client-%03d", i), Node: fmt.Sprintf("dyn-client-%03d", i),
+			DPName: first.Name(), DPNode: "dyn-dp-0", DPAddr: first.Addr(),
+			Transport: mem, Network: network, Clock: clock,
+			Timeout: 30 * time.Second, FallbackSites: g.SiteNames(),
+			RNG: netsim.Stream(int64(i), "dyn.client"),
+		})
+		if err != nil {
+			return "", err
+		}
+		clients[i] = c
+		defer c.Close()
+	}
+	prov.ManageClients(clients)
+	prov.Start()
+	defer prov.Stop()
+
+	// Drive load: every client schedules a job every 5 virtual seconds
+	// for the run duration, all bound to dp-0 initially.
+	duration := scale.Duration / 2
+	done := clock.After(duration)
+	stop := make(chan struct{})
+	for i, c := range clients {
+		go func(i int, c *digruber.Client) {
+			seq := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Schedule(&grid.Job{
+					ID:         grid.JobID(fmt.Sprintf("dyn-%03d-%05d", i, seq)),
+					Owner:      usla.MustParsePath("atlas"),
+					CPUs:       1,
+					Runtime:    duration / 4,
+					SubmitHost: fmt.Sprintf("dyn-client-%03d", i),
+				})
+				seq++
+				clock.Sleep(5 * time.Second)
+			}
+		}(i, c)
+	}
+	<-done
+	close(stop)
+
+	var b strings.Builder
+	b.WriteString("== Extension: live dynamic provisioning (GT3, from 1 DP) ==\n")
+	fmt.Fprintf(&b, "fleet grew 1 -> %d decision points during the run\n", len(prov.Fleet()))
+	for i, at := range prov.Deployments() {
+		fmt.Fprintf(&b, "  deployed dyn-dp-%d at t+%s\n", i+1, at.Sub(Epoch).Round(time.Second))
+	}
+	bindings := map[string]int{}
+	for _, c := range clients {
+		bindings[c.DPName()]++
+	}
+	fmt.Fprintf(&b, "client bindings after rebalancing: %v\n", bindings)
+	fmt.Fprintf(&b, "saturation events observed: %d\n", len(prov.Overseer().Events()))
+	return b.String(), nil
+}

@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"digruber/internal/wire"
+)
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// ID is the flag value (fig1, fig5, ..., tab3, ablation-*).
+	ID string
+	// Title describes what the paper shows there.
+	Title string
+	// Run executes the experiment at the given scale and renders a
+	// paper-style text report.
+	Run func(scale Scale) (string, error)
+}
+
+// gtScenario builds the standard figure scenario for a stack/DP count.
+func gtScenario(name string, profile wire.StackProfile, dps int, scale Scale) ScenarioConfig {
+	clients := scale.Clients
+	if profile.Name == "GT4" {
+		// The paper's GT4 runs peaked at fewer testers than GT3's.
+		clients = scale.Clients * 2 / 3
+	}
+	return ScenarioConfig{
+		Name:        name,
+		Scale:       scale,
+		Profile:     profile,
+		DPs:         dps,
+		Clients:     clients,
+		ExecuteJobs: true,
+	}
+}
+
+func runFigure(name, title string, profile wire.StackProfile, dps int, scale Scale) (string, error) {
+	res, err := RunScenario(gtScenario(name, profile, dps, scale))
+	if err != nil {
+		return "", err
+	}
+	return FormatScenario(title, res), nil
+}
+
+func runTable(title string, profile wire.StackProfile, scale Scale) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	for _, dps := range []int{1, 3, 10} {
+		res, err := RunScenario(gtScenario(fmt.Sprintf("%s-%ddp", profile.Name, dps), profile, dps, scale))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\n-- %d decision point(s) --\n%s", dps, res.Table.String())
+		fmt.Fprintf(&b, "grid util=%.1f%%  completed jobs=%d  handled accuracy=%.1f%%\n",
+			res.Util*100, res.CompletedJobs, res.HandledAccuracy*100)
+	}
+	return b.String(), nil
+}
+
+// Experiments returns every registered experiment, sorted by ID.
+func Experiments() []Experiment {
+	exps := []Experiment{
+		{
+			ID:    "fig1",
+			Title: "Figure 1: GT3.2 service instance creation under DiPerF",
+			Run: func(s Scale) (string, error) {
+				res, err := RunFig1(Fig1Config{Scale: s})
+				if err != nil {
+					return "", err
+				}
+				return "== Figure 1: GT3.2 service instance creation ==\n" +
+					res.SummaryLine() + "\n\n" + res.Render(), nil
+			},
+		},
+		{ID: "fig5", Title: "Figure 5: GT3 DI-GRUBER, 1 decision point", Run: func(s Scale) (string, error) {
+			return runFigure("gt3-1dp", "Figure 5: GT3 centralized (1 DP)", wire.GT3(), 1, s)
+		}},
+		{ID: "fig6", Title: "Figure 6: GT3 DI-GRUBER, 3 decision points", Run: func(s Scale) (string, error) {
+			return runFigure("gt3-3dp", "Figure 6: GT3 DI-GRUBER (3 DPs)", wire.GT3(), 3, s)
+		}},
+		{ID: "fig7", Title: "Figure 7: GT3 DI-GRUBER, 10 decision points", Run: func(s Scale) (string, error) {
+			return runFigure("gt3-10dp", "Figure 7: GT3 DI-GRUBER (10 DPs)", wire.GT3(), 10, s)
+		}},
+		{ID: "tab1", Title: "Table 1: GT3 DI-GRUBER overall performance", Run: func(s Scale) (string, error) {
+			return runTable("Table 1: GT3 DI-GRUBER overall performance", wire.GT3(), s)
+		}},
+		{ID: "fig8", Title: "Figure 8: GT3 accuracy vs exchange interval (3 DPs)", Run: func(s Scale) (string, error) {
+			points, err := RunAccuracySweep(s, wire.GT3(), nil, 1)
+			if err != nil {
+				return "", err
+			}
+			return FormatAccuracy("Figure 8: GT3 scheduling accuracy vs exchange interval", points), nil
+		}},
+		{ID: "fig9", Title: "Figure 9: GT4 DI-GRUBER, 1 decision point", Run: func(s Scale) (string, error) {
+			return runFigure("gt4-1dp", "Figure 9: GT4 centralized (1 DP)", wire.GT4(), 1, s)
+		}},
+		{ID: "fig10", Title: "Figure 10: GT4 DI-GRUBER, 3 decision points", Run: func(s Scale) (string, error) {
+			return runFigure("gt4-3dp", "Figure 10: GT4 DI-GRUBER (3 DPs)", wire.GT4(), 3, s)
+		}},
+		{ID: "fig11", Title: "Figure 11: GT4 DI-GRUBER, 10 decision points", Run: func(s Scale) (string, error) {
+			return runFigure("gt4-10dp", "Figure 11: GT4 DI-GRUBER (10 DPs)", wire.GT4(), 10, s)
+		}},
+		{ID: "tab2", Title: "Table 2: GT4 DI-GRUBER overall performance", Run: func(s Scale) (string, error) {
+			return runTable("Table 2: GT4 DI-GRUBER overall performance", wire.GT4(), s)
+		}},
+		{ID: "fig12", Title: "Figure 12: GT4 accuracy vs exchange interval (3 DPs)", Run: func(s Scale) (string, error) {
+			points, err := RunAccuracySweep(s, wire.GT4(), nil, 1)
+			if err != nil {
+				return "", err
+			}
+			return FormatAccuracy("Figure 12: GT4 scheduling accuracy vs exchange interval", points), nil
+		}},
+		{ID: "tab3", Title: "Table 3: GRUB-SIM required decision points", Run: func(s Scale) (string, error) {
+			rows, err := RunTab3(s.Name == "bench" || s.Name == "tiny")
+			if err != nil {
+				return "", err
+			}
+			return FormatTab3(rows), nil
+		}},
+	}
+	exps = append(exps, ablationExperiments()...)
+	exps = append(exps, extensionExperiments()...)
+	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
+	return exps
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// FormatScenario renders a live run the way a paper figure reads: the
+// summary strip, the three curves, and the Table 1/2-style breakdown.
+func FormatScenario(title string, res ScenarioResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	fmt.Fprintf(&b, "%s\n\n", res.DiPerF.SummaryLine())
+	b.WriteString(res.DiPerF.Render())
+	b.WriteString("\n")
+	b.WriteString(res.Table.String())
+	fmt.Fprintf(&b, "grid util=%.1f%%  completed jobs=%d  exchange rounds=%d  handled accuracy=%.1f%%\n",
+		res.Util*100, res.CompletedJobs, res.ExchangeRounds, res.HandledAccuracy*100)
+	return b.String()
+}
+
+// FormatAccuracy renders a Figure 8/12 sweep.
+func FormatAccuracy(title string, points []AccuracyPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", title)
+	fmt.Fprintf(&b, "%12s %18s %18s %12s\n", "interval", "accuracy(handled)", "accuracy(all)", "handled%")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%12s %17.1f%% %17.1f%% %11.1f%%\n",
+			p.Interval, p.HandledAccuracy*100, p.OverallAccuracy*100, p.HandledPct)
+	}
+	return b.String()
+}
+
+// FormatTab3 renders the GRUB-SIM table.
+func FormatTab3(rows []Tab3Row) string {
+	var b strings.Builder
+	b.WriteString("== Table 3: GRUB-SIM required decision points ==\n")
+	fmt.Fprintf(&b, "%6s %12s %12s %10s %12s %12s\n",
+		"stack", "initial DPs", "additional", "final", "response", "tput(q/s)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6s %12d %12d %10d %12s %12.2f\n",
+			r.Stack, r.InitialDPs, r.AdditionalDPs, r.FinalDPs,
+			r.MeanResponse.Round(10*time.Millisecond), r.Throughput)
+	}
+	return b.String()
+}

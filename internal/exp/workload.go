@@ -1,0 +1,41 @@
+package exp
+
+import (
+	"digruber/internal/grid"
+	"digruber/internal/usla"
+	"digruber/internal/workload"
+)
+
+// scenarioWorkload binds the composite workload generator to a scenario:
+// hosts map one-to-one to DiPerF testers, and mean job runtime scales
+// with the run length so the grid reaches steady state within the run.
+type scenarioWorkload struct {
+	gen      *workload.Generator
+	policies *usla.PolicySet
+}
+
+func newScenarioWorkload(cfg ScenarioConfig) *scenarioWorkload {
+	wcfg := workload.Default()
+	wcfg.Seed = cfg.Seed
+	wcfg.Hosts = cfg.Clients
+	wcfg.Interarrival = cfg.Interarrival
+	wcfg.MeanRuntime = cfg.Scale.Duration
+	if cfg.MeanRuntime > 0 {
+		wcfg.MeanRuntime = cfg.MeanRuntime
+	}
+	wcfg.JobCPUs = 2
+	if cfg.JobCPUs > 0 {
+		wcfg.JobCPUs = cfg.JobCPUs
+	}
+	return &scenarioWorkload{
+		gen:      workload.NewGenerator(wcfg),
+		policies: workload.Policies(wcfg),
+	}
+}
+
+// nextJob draws host t's next job. Each host owns an independent RNG
+// stream, and DiPerF issues a tester's operations sequentially, so
+// concurrent calls for distinct testers are safe.
+func (w *scenarioWorkload) nextJob(t int) *grid.Job {
+	return w.gen.NextJob(t)
+}

@@ -1,0 +1,96 @@
+package gram
+
+import (
+	"testing"
+	"time"
+
+	"digruber/internal/grid"
+	"digruber/internal/netsim"
+	"digruber/internal/usla"
+	"digruber/internal/vtime"
+)
+
+func testGrid(t *testing.T) *grid.Grid {
+	t.Helper()
+	g := grid.New(vtime.NewReal())
+	if _, err := g.AddSite(grid.SiteConfig{Name: "s0", Clusters: []int{4}}); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func job(id string) *grid.Job {
+	return &grid.Job{ID: grid.JobID(id), Owner: usla.MustParsePath("atlas"), CPUs: 1, Runtime: time.Millisecond, SubmitHost: "host"}
+}
+
+func TestSubmitReachesSite(t *testing.T) {
+	g := testGrid(t)
+	s := NewSubmitter(g, nil, vtime.NewReal(), Config{})
+	ticket, err := s.Submit("host", "s0", job("j1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := <-ticket.Done()
+	if out.Failed || out.Site != "s0" {
+		t.Fatalf("outcome = %+v", out)
+	}
+	if submitted, failed := s.Stats(); submitted != 1 || failed != 0 {
+		t.Fatalf("stats = %d/%d", submitted, failed)
+	}
+}
+
+func TestSubmitUnknownSite(t *testing.T) {
+	g := testGrid(t)
+	s := NewSubmitter(g, nil, vtime.NewReal(), Config{})
+	if _, err := s.Submit("host", "ghost", job("j1")); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+}
+
+func TestTransientFailureRate(t *testing.T) {
+	g := testGrid(t)
+	s := NewSubmitter(g, nil, vtime.NewReal(), Config{
+		TransientFailProb: 0.5, RNG: netsim.Stream(1, "gram.test"),
+	})
+	failures := 0
+	const trials = 400
+	for i := 0; i < trials; i++ {
+		if _, err := s.Submit("host", "s0", job("j")); err != nil {
+			failures++
+		}
+	}
+	frac := float64(failures) / trials
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("failure fraction %v, want ≈0.5", frac)
+	}
+	submitted, failed := s.Stats()
+	if submitted+failed != trials {
+		t.Fatalf("stats %d+%d != %d", submitted, failed, trials)
+	}
+}
+
+func TestSubmitLatencyPaid(t *testing.T) {
+	g := testGrid(t)
+	network := netsim.New(1, netsim.Profile{Name: "t", MedianLatency: 20 * time.Millisecond})
+	s := NewSubmitter(g, network, vtime.NewReal(), Config{SubmitOverhead: 15 * time.Millisecond})
+	start := time.Now()
+	if _, err := s.Submit("host", "s0", job("j")); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(start); e < 30*time.Millisecond {
+		t.Fatalf("submit took %v, want ≥ latency+overhead", e)
+	}
+}
+
+func TestSitePolicyRejectionSurfaces(t *testing.T) {
+	clock := vtime.NewReal()
+	g := grid.New(clock)
+	ps := usla.NewPolicySet()
+	entries, _ := usla.ParseTextString("* atlas cpu 0+")
+	ps.AddAll(entries)
+	g.AddSite(grid.SiteConfig{Name: "locked", Clusters: []int{4}, Policy: grid.USLAPolicy{Policies: ps}})
+	s := NewSubmitter(g, nil, clock, Config{})
+	if _, err := s.Submit("host", "locked", job("j")); err == nil {
+		t.Fatal("S-PEP rejection not surfaced through GRAM")
+	}
+}

@@ -1,0 +1,116 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// SchedulerPolicy selects how a site orders its local queue. The paper's
+// sites run batch schedulers in the Maui family; the three policies here
+// cover the spectrum the USLA model was designed against.
+type SchedulerPolicy string
+
+// Site scheduler policies.
+const (
+	// FIFO starts jobs strictly in arrival order (the default, and what
+	// the paper's emulation assumes).
+	FIFO SchedulerPolicy = "fifo"
+	// Priority starts the highest-priority queued job first (ties by
+	// arrival). Starvation of big low-priority jobs is possible.
+	Priority SchedulerPolicy = "priority"
+	// Backfill is EASY backfill: jobs start in arrival order, but when
+	// the queue head does not fit, a later job may jump ahead if doing
+	// so cannot delay the head's earliest possible start time (computed
+	// from running jobs' declared runtimes).
+	Backfill SchedulerPolicy = "backfill"
+)
+
+// ValidPolicy reports whether p names a scheduler policy.
+func ValidPolicy(p SchedulerPolicy) bool {
+	switch p {
+	case "", FIFO, Priority, Backfill:
+		return true
+	}
+	return false
+}
+
+// pickNext chooses the index in s.queue of the next job to start, or -1
+// if nothing can start now. Caller holds s.mu.
+func (s *Site) pickNext(now time.Time) int {
+	if len(s.queue) == 0 {
+		return -1
+	}
+	switch s.policy2 {
+	case Priority:
+		best := -1
+		for i, qj := range s.queue {
+			if qj.job.CPUs > s.free {
+				continue
+			}
+			if best < 0 || qj.job.Priority > s.queue[best].job.Priority {
+				best = i
+			}
+		}
+		return best
+	case Backfill:
+		head := s.queue[0]
+		if head.job.CPUs <= s.free {
+			return 0
+		}
+		shadow, extra := s.shadowLocked(head.job.CPUs, now)
+		for i := 1; i < len(s.queue); i++ {
+			qj := s.queue[i]
+			if qj.job.CPUs > s.free {
+				continue
+			}
+			// Safe to backfill if the candidate finishes before the
+			// head's reservation, or fits inside CPUs the head won't
+			// need even then.
+			if !now.Add(qj.job.Runtime).After(shadow) || qj.job.CPUs <= extra {
+				return i
+			}
+		}
+		return -1
+	default: // FIFO
+		if s.queue[0].job.CPUs <= s.free {
+			return 0
+		}
+		return -1
+	}
+}
+
+// shadowLocked computes, from running jobs' declared runtimes, the
+// earliest time at which cpus processors will be free (the queue head's
+// reservation) and how many processors beyond cpus will be free then.
+// Caller holds s.mu.
+func (s *Site) shadowLocked(cpus int, now time.Time) (shadow time.Time, extra int) {
+	type release struct {
+		at   time.Time
+		cpus int
+	}
+	releases := make([]release, 0, len(s.running))
+	for _, qj := range s.running {
+		releases = append(releases, release{at: qj.started.Add(qj.job.Runtime), cpus: qj.job.CPUs})
+	}
+	sort.Slice(releases, func(i, j int) bool { return releases[i].at.Before(releases[j].at) })
+	avail := s.free
+	for _, r := range releases {
+		avail += r.cpus
+		if avail >= cpus {
+			return r.at, avail - cpus
+		}
+	}
+	// Unreachable for validated jobs (cpus ≤ total), but stay safe.
+	return now.Add(365 * 24 * time.Hour), 0
+}
+
+func validatePolicy(p SchedulerPolicy) (SchedulerPolicy, error) {
+	if !ValidPolicy(p) {
+		return "", fmt.Errorf("grid: unknown scheduler policy %q", p)
+	}
+	if p == "" {
+		return FIFO, nil
+	}
+	return p, nil
+}

@@ -1,0 +1,154 @@
+package grid
+
+import (
+	"testing"
+	"time"
+
+	"digruber/internal/usla"
+	"digruber/internal/vtime"
+)
+
+func schedSite(t *testing.T, policy SchedulerPolicy, cpus int) (*Site, *vtime.Manual) {
+	t.Helper()
+	clock := vtime.NewManual(epoch)
+	s, err := NewSite(SiteConfig{Name: "sched", Clusters: []int{cpus}, Scheduler: policy}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, clock
+}
+
+func pjob(id string, cpus int, runtime time.Duration, priority int) *Job {
+	return &Job{
+		ID: JobID(id), Owner: usla.MustParsePath("atlas"),
+		CPUs: cpus, Runtime: runtime, Priority: priority,
+	}
+}
+
+func TestPrioritySchedulerOrdersByPriority(t *testing.T) {
+	s, clock := schedSite(t, Priority, 1)
+	// Occupy the CPU so later submissions queue.
+	blocker, _ := s.Submit(pjob("blocker", 1, time.Minute, 0))
+	tLow, _ := s.Submit(pjob("low", 1, time.Minute, 1))
+	tHigh, _ := s.Submit(pjob("high", 1, time.Minute, 9))
+	tMid, _ := s.Submit(pjob("mid", 1, time.Minute, 5))
+
+	clock.Advance(4 * time.Minute)
+	<-blocker.Done()
+	outHigh, outMid, outLow := <-tHigh.Done(), <-tMid.Done(), <-tLow.Done()
+	if !outHigh.StartedAt.Before(outMid.StartedAt) || !outMid.StartedAt.Before(outLow.StartedAt) {
+		t.Fatalf("priority order violated: high=%v mid=%v low=%v",
+			outHigh.StartedAt, outMid.StartedAt, outLow.StartedAt)
+	}
+}
+
+func TestPriorityTiesKeepArrivalOrder(t *testing.T) {
+	s, clock := schedSite(t, Priority, 1)
+	s.Submit(pjob("blocker", 1, time.Minute, 0))
+	tA, _ := s.Submit(pjob("a", 1, time.Minute, 5))
+	tB, _ := s.Submit(pjob("b", 1, time.Minute, 5))
+	clock.Advance(3 * time.Minute)
+	outA, outB := <-tA.Done(), <-tB.Done()
+	if !outA.StartedAt.Before(outB.StartedAt) {
+		t.Fatal("equal priorities did not keep arrival order")
+	}
+}
+
+func TestBackfillFillsHolesWithoutDelayingHead(t *testing.T) {
+	s, clock := schedSite(t, Backfill, 4)
+	// Running: 2 CPUs for 10 minutes.
+	s.Submit(pjob("running", 2, 10*time.Minute, 0))
+	// Head needs 4 CPUs: must wait for the running job (shadow = t+10m).
+	tHead, _ := s.Submit(pjob("head", 4, time.Minute, 0))
+	// Short small job: 2 CPUs free now, finishes (t+5m) before shadow →
+	// backfills immediately.
+	tShort, _ := s.Submit(pjob("short", 2, 5*time.Minute, 0))
+	// Long small job: would finish at t+30m > shadow and needs CPUs the
+	// head requires → must NOT start before the head.
+	tLong, _ := s.Submit(pjob("long", 2, 30*time.Minute, 0))
+
+	if st := s.Snapshot(); st.Running != 2 {
+		t.Fatalf("backfill did not start the short job: %+v", st)
+	}
+	clock.Advance(10 * time.Minute) // running + short finish; head starts
+	clock.Advance(time.Minute)      // head finishes; long starts
+	clock.Advance(30 * time.Minute)
+
+	outHead, outShort, outLong := <-tHead.Done(), <-tShort.Done(), <-tLong.Done()
+	if !outShort.StartedAt.Before(outHead.StartedAt) {
+		t.Fatal("short job did not backfill ahead of the head")
+	}
+	if outHead.StartedAt != epoch.Add(10*time.Minute) {
+		t.Fatalf("head start delayed to %v, want t+10m", outHead.StartedAt)
+	}
+	if outLong.StartedAt.Before(outHead.StartedAt) {
+		t.Fatal("long job jumped the head despite overlapping its reservation")
+	}
+}
+
+func TestBackfillUsesExtraCPUsAtShadow(t *testing.T) {
+	s, _ := schedSite(t, Backfill, 8)
+	// Running: 6 CPUs for 10 minutes → free 2.
+	s.Submit(pjob("running", 6, 10*time.Minute, 0))
+	// Head needs 4: shadow at t+10m with extra = (2+6)-4 = 4.
+	s.Submit(pjob("head", 4, time.Minute, 0))
+	// A long 2-CPU job fits in the extra even at shadow → backfills
+	// although it outlives the reservation.
+	s.Submit(pjob("long-small", 2, time.Hour, 0))
+	if st := s.Snapshot(); st.Running != 2 || st.FreeCPUs != 0 {
+		t.Fatalf("extra-CPU backfill did not happen: %+v", st)
+	}
+}
+
+func TestBackfillEqualsFIFOWhenEverythingFits(t *testing.T) {
+	for _, pol := range []SchedulerPolicy{FIFO, Backfill, Priority} {
+		s, clock := schedSite(t, pol, 16)
+		var tickets []*Ticket
+		for i := 0; i < 5; i++ {
+			tk, err := s.Submit(pjob(string(rune('a'+i)), 2, time.Minute, i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tickets = append(tickets, tk)
+		}
+		clock.Advance(time.Minute)
+		for _, tk := range tickets {
+			out := <-tk.Done()
+			if out.QTime() != 0 {
+				t.Fatalf("%s: job queued despite free capacity", pol)
+			}
+		}
+	}
+}
+
+func TestBackfillImprovesUtilizationOverFIFO(t *testing.T) {
+	run := func(pol SchedulerPolicy) time.Duration {
+		s, clock := schedSite(t, pol, 4)
+		s.Submit(pjob("r", 2, 10*time.Minute, 0))
+		s.Submit(pjob("head", 4, time.Minute, 0))
+		var smalls []*Ticket
+		for i := 0; i < 4; i++ {
+			tk, _ := s.Submit(pjob(string(rune('a'+i)), 1, 5*time.Minute, 0))
+			smalls = append(smalls, tk)
+		}
+		clock.Advance(time.Hour)
+		var sum time.Duration
+		for _, tk := range smalls {
+			out := <-tk.Done()
+			sum += out.QTime()
+		}
+		return sum
+	}
+	fifo := run(FIFO)
+	bf := run(Backfill)
+	if bf >= fifo {
+		t.Fatalf("backfill total small-job wait %v not better than FIFO %v", bf, fifo)
+	}
+}
+
+func TestUnknownSchedulerRejected(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	if _, err := NewSite(SiteConfig{Name: "x", Clusters: []int{1}, Scheduler: "lottery"}, clock); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}

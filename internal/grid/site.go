@@ -1,0 +1,407 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"digruber/internal/usla"
+	"digruber/internal/vtime"
+)
+
+// SitePolicy is the S-PEP hook: a site-local policy enforcement point
+// consulted before a job is queued. The paper's experiments assume
+// decision points have total control and leave S-PEPs out of scope, so
+// the default policy admits everything; the hook exists for the
+// extension experiments.
+type SitePolicy interface {
+	// Admit returns an error to reject the job at the site boundary,
+	// given the site's current status.
+	Admit(j *Job, st Status) error
+}
+
+// AdmitAll is the default S-PEP used in the paper's experiments.
+type AdmitAll struct{}
+
+// Admit implements SitePolicy.
+func (AdmitAll) Admit(*Job, Status) error { return nil }
+
+// USLAPolicy is an S-PEP that enforces site-level USLA upper limits on
+// running CPUs per consumer, used by the extension experiments.
+type USLAPolicy struct {
+	Policies *usla.PolicySet
+}
+
+// Admit implements SitePolicy.
+func (p USLAPolicy) Admit(j *Job, st Status) error {
+	uf := func(q usla.Path) float64 { return float64(st.UsageByPath[q.String()]) }
+	if !p.Policies.Allowed(st.Name, j.Owner, usla.CPU, float64(st.TotalCPUs), uf, float64(j.CPUs)) {
+		return fmt.Errorf("usla upper limit reached for %s at %s", j.Owner, st.Name)
+	}
+	return nil
+}
+
+// Ticket tracks one submitted job; Done delivers exactly one Outcome.
+type Ticket struct {
+	JobID JobID
+	done  chan Outcome
+}
+
+// Done returns the completion channel.
+func (t *Ticket) Done() <-chan Outcome { return t.done }
+
+// SiteConfig configures a site.
+type SiteConfig struct {
+	Name string
+	// Clusters lists CPU counts per cluster; a site's capacity is their
+	// sum. The paper notes each site comprises one or more clusters.
+	Clusters []int
+	// Scheduler is the site's local queue policy (default FIFO).
+	Scheduler SchedulerPolicy
+	// StorageBytes is the site's storage capacity; 0 leaves storage
+	// unmodeled. Jobs occupy InputBytes+OutputBytes while at the site.
+	StorageBytes int64
+	// FailProb is the probability a job fails at execution start
+	// (failure injection for Euryale's re-planning).
+	FailProb float64
+	// Policy is the S-PEP; nil means AdmitAll.
+	Policy SitePolicy
+	// RNG drives failure injection; nil disables randomness.
+	RNG *rand.Rand
+}
+
+// Site is one grid site: a capacity of CPUs, a FIFO queue, and usage
+// accounting per consumer path.
+type Site struct {
+	name     string
+	clusters []int
+	total    int
+	clock    vtime.Clock
+	policy   SitePolicy
+	policy2  SchedulerPolicy // queue ordering policy
+	failProb float64
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	free    int
+	queue   []*queuedJob
+	running map[JobID]*queuedJob
+	// usage counts running CPUs per consumer path prefix, so USLA
+	// evaluation at any level is O(1).
+	usage map[usla.Path]int
+	// storage accounting mirrors CPU usage, in bytes.
+	storageTotal  int64
+	storageUsed   int64
+	storageByPath map[usla.Path]int64
+
+	// accounting
+	completedJobs  int
+	failedJobs     int
+	consumedCPU    time.Duration // CPU-time delivered (runtime × cpus)
+	qtimeTotal     time.Duration
+	finishedQTimes int
+
+	closed    bool
+	onOutcome func(Outcome)
+}
+
+type queuedJob struct {
+	job      *Job
+	ticket   *Ticket
+	queuedAt time.Time
+	started  time.Time
+	timer    vtime.Timer
+}
+
+// NewSite builds a site from its config.
+func NewSite(cfg SiteConfig, clock vtime.Clock) (*Site, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("grid: site with empty name")
+	}
+	total := 0
+	for _, c := range cfg.Clusters {
+		if c <= 0 {
+			return nil, fmt.Errorf("grid: site %s has non-positive cluster size", cfg.Name)
+		}
+		total += c
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("grid: site %s has no CPUs", cfg.Name)
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = AdmitAll{}
+	}
+	sched, err := validatePolicy(cfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	return &Site{
+		name:     cfg.Name,
+		clusters: append([]int(nil), cfg.Clusters...),
+		total:    total,
+		clock:    clock,
+		policy:   policy,
+		policy2:  sched,
+		failProb: cfg.FailProb,
+		rng:      cfg.RNG,
+		free:     total,
+		running:  make(map[JobID]*queuedJob),
+		usage:    make(map[usla.Path]int),
+
+		storageTotal:  cfg.StorageBytes,
+		storageByPath: make(map[usla.Path]int64),
+	}, nil
+}
+
+// Name returns the site name.
+func (s *Site) Name() string { return s.name }
+
+// TotalCPUs returns the site capacity.
+func (s *Site) TotalCPUs() int { return s.total }
+
+// Clusters returns the per-cluster CPU counts.
+func (s *Site) Clusters() []int { return append([]int(nil), s.clusters...) }
+
+// SetOutcomeHandler installs a callback invoked (outside the site lock)
+// for every finished job. Metrics collectors use this.
+func (s *Site) SetOutcomeHandler(f func(Outcome)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.onOutcome = f
+}
+
+// Submit queues a job at the site. The returned Ticket's Done channel
+// delivers the Outcome when the job finishes. Submission fails only if
+// the S-PEP rejects the job or the job is invalid.
+func (s *Site) Submit(j *Job) (*Ticket, error) {
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	if j.CPUs > s.total {
+		return nil, fmt.Errorf("grid: job %s needs %d CPUs, site %s has %d", j.ID, j.CPUs, s.name, s.total)
+	}
+	if err := s.admitStorage(j); err != nil {
+		return nil, err
+	}
+	if err := s.policy.Admit(j, s.Snapshot()); err != nil {
+		return nil, fmt.Errorf("grid: site %s rejected job %s: %w", s.name, j.ID, err)
+	}
+	t := &Ticket{JobID: j.ID, done: make(chan Outcome, 1)}
+	qj := &queuedJob{job: j, ticket: t, queuedAt: s.clock.Now()}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("grid: site %s is shut down", s.name)
+	}
+	s.chargeStorageLocked(j)
+	s.queue = append(s.queue, qj)
+	s.mu.Unlock()
+	s.schedule()
+	return t, nil
+}
+
+// Close shuts the site down: pending timers are cancelled, and every
+// queued or running job resolves immediately with a failed Outcome so
+// watchers unblock. Emulation harnesses call this at teardown so no
+// compressed-time execution outlives an experiment.
+func (s *Site) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	queued := s.queue
+	s.queue = nil
+	running := s.running
+	s.running = make(map[JobID]*queuedJob)
+	s.usage = make(map[usla.Path]int)
+	s.free = s.total
+	s.storageUsed = 0
+	s.storageByPath = make(map[usla.Path]int64)
+	now := s.clock.Now()
+	s.mu.Unlock()
+
+	for _, qj := range running {
+		if qj.timer != nil {
+			qj.timer.Stop()
+		}
+	}
+	for _, set := range [][]*queuedJob{queued, mapValues(running)} {
+		for _, qj := range set {
+			qj.ticket.done <- Outcome{
+				Job: qj.job, Site: s.name,
+				QueuedAt: qj.queuedAt, StartedAt: qj.started, FinishedAt: now,
+				Failed: true, FailureReason: "site shut down",
+			}
+		}
+	}
+}
+
+func mapValues(m map[JobID]*queuedJob) []*queuedJob {
+	out := make([]*queuedJob, 0, len(m))
+	for _, qj := range m {
+		out = append(out, qj)
+	}
+	return out
+}
+
+// schedule starts queued jobs while the scheduler policy admits one.
+func (s *Site) schedule() {
+	for {
+		s.mu.Lock()
+		now := s.clock.Now()
+		idx := s.pickNext(now)
+		if idx < 0 {
+			s.mu.Unlock()
+			return
+		}
+		qj := s.queue[idx]
+		s.queue = append(s.queue[:idx], s.queue[idx+1:]...)
+
+		// Failure injection: the job dies at execution start.
+		if s.failProb > 0 && s.rng != nil && s.rng.Float64() < s.failProb {
+			s.failedJobs++
+			s.releaseStorageLocked(qj.job)
+			handler := s.onOutcome
+			s.mu.Unlock()
+			out := Outcome{
+				Job: qj.job, Site: s.name,
+				QueuedAt: qj.queuedAt, FinishedAt: now,
+				Failed: true, FailureReason: "site execution failure",
+			}
+			qj.ticket.done <- out
+			if handler != nil {
+				handler(out)
+			}
+			continue
+		}
+
+		qj.started = now
+		s.free -= qj.job.CPUs
+		s.running[qj.job.ID] = qj
+		for _, prefix := range qj.job.Owner.Prefixes() {
+			s.usage[prefix] += qj.job.CPUs
+		}
+		s.qtimeTotal += qj.started.Sub(qj.queuedAt)
+		s.finishedQTimes++
+		job := qj.job
+		qj.timer = s.clock.AfterFunc(job.Runtime, func() { s.finish(job.ID) })
+		s.mu.Unlock()
+	}
+}
+
+// finish releases a running job's CPUs and delivers its outcome.
+func (s *Site) finish(id JobID) {
+	s.mu.Lock()
+	qj, ok := s.running[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.running, id)
+	s.free += qj.job.CPUs
+	for _, prefix := range qj.job.Owner.Prefixes() {
+		s.usage[prefix] -= qj.job.CPUs
+		if s.usage[prefix] <= 0 {
+			delete(s.usage, prefix)
+		}
+	}
+	s.completedJobs++
+	s.consumedCPU += qj.job.Runtime * time.Duration(qj.job.CPUs)
+	s.releaseStorageLocked(qj.job)
+	handler := s.onOutcome
+	now := s.clock.Now()
+	s.mu.Unlock()
+
+	out := Outcome{
+		Job: qj.job, Site: s.name,
+		QueuedAt: qj.queuedAt, StartedAt: qj.started, FinishedAt: now,
+	}
+	qj.ticket.done <- out
+	if handler != nil {
+		handler(out)
+	}
+	s.schedule()
+}
+
+// Status is a point-in-time snapshot of a site, the unit of information
+// monitoring feeds to decision points.
+type Status struct {
+	Name      string
+	TotalCPUs int
+	FreeCPUs  int
+	Queued    int
+	Running   int
+	// UsageByPath maps consumer path (dotted string, gob-friendly) to
+	// running CPUs, for every path prefix with non-zero usage.
+	UsageByPath map[string]int
+	// StorageTotal/StorageFree/StorageByPath mirror the CPU fields in
+	// bytes (all zero when storage is unmodeled).
+	StorageTotal  int64
+	StorageFree   int64
+	StorageByPath map[string]int64
+}
+
+// Snapshot returns the site's current status.
+func (s *Site) Snapshot() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	usage := make(map[string]int, len(s.usage))
+	for p, n := range s.usage {
+		usage[p.String()] = n
+	}
+	st := Status{
+		Name:        s.name,
+		TotalCPUs:   s.total,
+		FreeCPUs:    s.free,
+		Queued:      len(s.queue),
+		Running:     len(s.running),
+		UsageByPath: usage,
+	}
+	if s.storageTotal > 0 {
+		st.StorageTotal = s.storageTotal
+		st.StorageFree = s.storageTotal - s.storageUsed
+		st.StorageByPath = make(map[string]int64, len(s.storageByPath))
+		for p, n := range s.storageByPath {
+			st.StorageByPath[p.String()] = n
+		}
+	}
+	return st
+}
+
+// Usage returns the running CPUs charged to a consumer path (including
+// its descendants) — the site-local ground-truth UsageFunc for USLA
+// evaluation.
+func (s *Site) Usage(p usla.Path) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.usage[p]
+}
+
+// Accounting summarizes what a site has delivered so far.
+type Accounting struct {
+	CompletedJobs int
+	FailedJobs    int
+	// ConsumedCPU is total CPU-time delivered to completed jobs.
+	ConsumedCPU time.Duration
+	// MeanQTime averages queue time over jobs that started.
+	MeanQTime time.Duration
+}
+
+// Accounting returns the site's cumulative accounting.
+func (s *Site) Accounting() Accounting {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acc := Accounting{
+		CompletedJobs: s.completedJobs,
+		FailedJobs:    s.failedJobs,
+		ConsumedCPU:   s.consumedCPU,
+	}
+	if s.finishedQTimes > 0 {
+		acc.MeanQTime = s.qtimeTotal / time.Duration(s.finishedQTimes)
+	}
+	return acc
+}

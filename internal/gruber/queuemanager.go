@@ -1,0 +1,159 @@
+package gruber
+
+import (
+	"fmt"
+	"sync"
+
+	"digruber/internal/grid"
+	"digruber/internal/usla"
+)
+
+// PlaceFunc performs the site selection and dispatch of one job and
+// returns the ticket tracking its execution (a gruber Client or Euryale
+// wrapping both steps).
+type PlaceFunc func(j *grid.Job) (*grid.Ticket, error)
+
+// QueueManager is the GRUBER component that lives on a submission host:
+// it watches VO policy and decides how many jobs to start and when. Jobs
+// beyond the in-flight limit wait in a local FIFO backlog. (The paper's
+// scalability experiments bypass the queue manager — clients dispatch
+// every job immediately — but it is part of GRUBER and the Euryale
+// example uses it.)
+type QueueManager struct {
+	place       PlaceFunc
+	maxInflight int
+
+	mu       sync.Mutex
+	backlog  []*grid.Job
+	inflight int
+	started  int
+	finished int
+	failures int
+	onDone   func(grid.Outcome)
+	closed   bool
+}
+
+// NewQueueManager returns a manager that keeps at most maxInflight jobs
+// running/queued at sites simultaneously, placing them with place.
+func NewQueueManager(place PlaceFunc, maxInflight int) (*QueueManager, error) {
+	if place == nil {
+		return nil, fmt.Errorf("gruber: queue manager needs a place function")
+	}
+	if maxInflight <= 0 {
+		return nil, fmt.Errorf("gruber: maxInflight must be positive, got %d", maxInflight)
+	}
+	return &QueueManager{place: place, maxInflight: maxInflight}, nil
+}
+
+// MaxInflightFromPolicy derives a submission host's in-flight budget from
+// its VO's fair-share target over the whole grid: the host should not
+// keep more jobs in flight than its VO's target share of total CPUs
+// (minimum 1). This is the "monitors VO policies" behaviour the paper
+// ascribes to the queue manager.
+func MaxInflightFromPolicy(ps *usla.PolicySet, vo usla.Path, totalCPUs int) int {
+	ent := ps.Entitlement(usla.AnyProvider, vo, usla.CPU, float64(totalCPUs))
+	n := int(ent.Target)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// SetOutcomeHandler installs a callback for every finished job.
+func (qm *QueueManager) SetOutcomeHandler(f func(grid.Outcome)) {
+	qm.mu.Lock()
+	defer qm.mu.Unlock()
+	qm.onDone = f
+}
+
+// Enqueue adds a job; it starts immediately if the in-flight budget
+// allows, otherwise when an earlier job finishes.
+func (qm *QueueManager) Enqueue(j *grid.Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	qm.mu.Lock()
+	if qm.closed {
+		qm.mu.Unlock()
+		return fmt.Errorf("gruber: queue manager closed")
+	}
+	qm.backlog = append(qm.backlog, j)
+	qm.mu.Unlock()
+	qm.pump()
+	return nil
+}
+
+// pump starts backlog jobs while the in-flight budget allows.
+func (qm *QueueManager) pump() {
+	for {
+		qm.mu.Lock()
+		if qm.closed || qm.inflight >= qm.maxInflight || len(qm.backlog) == 0 {
+			qm.mu.Unlock()
+			return
+		}
+		j := qm.backlog[0]
+		qm.backlog = qm.backlog[1:]
+		qm.inflight++
+		qm.started++
+		qm.mu.Unlock()
+
+		ticket, err := qm.place(j)
+		if err != nil {
+			qm.mu.Lock()
+			qm.inflight--
+			qm.failures++
+			handler := qm.onDone
+			qm.mu.Unlock()
+			if handler != nil {
+				handler(grid.Outcome{Job: j, Failed: true, FailureReason: err.Error()})
+			}
+			continue
+		}
+		go qm.watch(j, ticket)
+	}
+}
+
+func (qm *QueueManager) watch(j *grid.Job, t *grid.Ticket) {
+	out := <-t.Done()
+	qm.mu.Lock()
+	qm.inflight--
+	qm.finished++
+	if out.Failed {
+		qm.failures++
+	}
+	handler := qm.onDone
+	qm.mu.Unlock()
+	if handler != nil {
+		handler(out)
+	}
+	qm.pump()
+}
+
+// QueueStats snapshots the manager.
+type QueueStats struct {
+	Backlog  int
+	InFlight int
+	Started  int
+	Finished int
+	Failures int
+}
+
+// Stats returns current counters.
+func (qm *QueueManager) Stats() QueueStats {
+	qm.mu.Lock()
+	defer qm.mu.Unlock()
+	return QueueStats{
+		Backlog:  len(qm.backlog),
+		InFlight: qm.inflight,
+		Started:  qm.started,
+		Finished: qm.finished,
+		Failures: qm.failures,
+	}
+}
+
+// Close stops starting new jobs; in-flight jobs run to completion.
+func (qm *QueueManager) Close() {
+	qm.mu.Lock()
+	defer qm.mu.Unlock()
+	qm.closed = true
+}

@@ -1,0 +1,119 @@
+package gruber
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"digruber/internal/grid"
+	"digruber/internal/usla"
+	"digruber/internal/vtime"
+)
+
+func qmJob(id string, runtime time.Duration) *grid.Job {
+	return &grid.Job{ID: grid.JobID(id), Owner: usla.MustParsePath("atlas"), CPUs: 1, Runtime: runtime}
+}
+
+func TestQueueManagerLimitsInflight(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	site, err := grid.NewSite(grid.SiteConfig{Name: "s", Clusters: []int{100}}, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := NewQueueManager(func(j *grid.Job) (*grid.Ticket, error) { return site.Submit(j) }, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := qm.Enqueue(qmJob(fmt.Sprintf("j%d", i), 10*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := qm.Stats()
+	if st.InFlight != 2 || st.Backlog != 3 {
+		t.Fatalf("stats = %+v, want 2 in flight / 3 backlog", st)
+	}
+	// Finish the first two; the manager should start two more.
+	clock.Advance(10 * time.Minute)
+	waitFor(t, func() bool { s := qm.Stats(); return s.Finished == 2 && s.InFlight == 2 })
+	clock.Advance(10 * time.Minute)
+	// j4 is placed asynchronously once a slot frees; wait for it before
+	// advancing past its runtime.
+	waitFor(t, func() bool { s := qm.Stats(); return s.Finished == 4 && s.InFlight == 1 })
+	clock.Advance(10 * time.Minute)
+	waitFor(t, func() bool { return qm.Stats().Finished == 5 })
+	if st := qm.Stats(); st.Backlog != 0 || st.InFlight != 0 || st.Failures != 0 {
+		t.Fatalf("final stats = %+v", st)
+	}
+}
+
+func TestQueueManagerPlacementFailure(t *testing.T) {
+	qm, _ := NewQueueManager(func(j *grid.Job) (*grid.Ticket, error) {
+		return nil, errors.New("no site qualifies")
+	}, 1)
+	var failures atomic.Int32
+	qm.SetOutcomeHandler(func(o grid.Outcome) {
+		if o.Failed {
+			failures.Add(1)
+		}
+	})
+	qm.Enqueue(qmJob("j1", time.Minute))
+	waitFor(t, func() bool { return failures.Load() == 1 })
+	if st := qm.Stats(); st.Failures != 1 || st.InFlight != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueManagerClose(t *testing.T) {
+	qm, _ := NewQueueManager(func(j *grid.Job) (*grid.Ticket, error) {
+		t.Fatal("placed after close")
+		return nil, nil
+	}, 1)
+	qm.Close()
+	if err := qm.Enqueue(qmJob("j1", time.Minute)); err == nil {
+		t.Fatal("enqueue after close succeeded")
+	}
+}
+
+func TestQueueManagerValidation(t *testing.T) {
+	if _, err := NewQueueManager(nil, 1); err == nil {
+		t.Fatal("nil place accepted")
+	}
+	if _, err := NewQueueManager(func(*grid.Job) (*grid.Ticket, error) { return nil, nil }, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	qm, _ := NewQueueManager(func(*grid.Job) (*grid.Ticket, error) { return nil, nil }, 1)
+	if err := qm.Enqueue(&grid.Job{}); err == nil {
+		t.Fatal("invalid job accepted")
+	}
+}
+
+func TestMaxInflightFromPolicy(t *testing.T) {
+	ps := usla.NewPolicySet()
+	entries, _ := usla.ParseTextString("* atlas cpu 10")
+	ps.AddAll(entries)
+	if got := MaxInflightFromPolicy(ps, usla.MustParsePath("atlas"), 1000); got != 100 {
+		t.Fatalf("budget = %d, want 100 (10%% of 1000)", got)
+	}
+	// Unknown VO defaults to opportunistic full share.
+	if got := MaxInflightFromPolicy(ps, usla.MustParsePath("nobody"), 50); got != 50 {
+		t.Fatalf("default budget = %d, want 50", got)
+	}
+	// Tiny grids still allow one job.
+	if got := MaxInflightFromPolicy(ps, usla.MustParsePath("atlas"), 5); got != 1 {
+		t.Fatalf("min budget = %d, want 1", got)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("condition never became true")
+}

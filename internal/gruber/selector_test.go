@@ -1,0 +1,192 @@
+package gruber
+
+import (
+	"testing"
+
+	"digruber/internal/netsim"
+)
+
+func loads(free ...int) []SiteLoad {
+	out := make([]SiteLoad, len(free))
+	for i, f := range free {
+		out[i] = SiteLoad{
+			Name:        siteName(i),
+			TotalCPUs:   100,
+			EstFreeCPUs: f,
+			Headroom:    float64(f),
+			TargetGap:   0,
+		}
+	}
+	return out
+}
+
+func siteName(i int) string { return []string{"s-a", "s-b", "s-c", "s-d", "s-e"}[i] }
+
+func TestRandomSelectsOnlyFreeSites(t *testing.T) {
+	sel := NewRandom(netsim.Stream(1, "test"))
+	ls := loads(0, 5, 0, 8)
+	for i := 0; i < 100; i++ {
+		site, ok := sel.Select(ls, 1)
+		if !ok {
+			t.Fatal("no selection")
+		}
+		if site != "s-b" && site != "s-d" {
+			t.Fatalf("picked busy site %s", site)
+		}
+	}
+}
+
+func TestRandomFallsBackWhenNothingFree(t *testing.T) {
+	sel := NewRandom(netsim.Stream(1, "test"))
+	site, ok := sel.Select(loads(0, 0), 1)
+	if !ok || site == "" {
+		t.Fatal("random fallback must still pick a site (paper's timeout fallback)")
+	}
+	if _, ok := sel.Select(nil, 1); ok {
+		t.Fatal("selection from empty load list")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	sel := NewRoundRobin()
+	ls := loads(5, 5, 5)
+	var seq []string
+	for i := 0; i < 6; i++ {
+		s, ok := sel.Select(ls, 1)
+		if !ok {
+			t.Fatal("no selection")
+		}
+		seq = append(seq, s)
+	}
+	want := []string{"s-a", "s-b", "s-c", "s-a", "s-b", "s-c"}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Fatalf("seq = %v, want %v", seq, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsBusy(t *testing.T) {
+	sel := NewRoundRobin()
+	ls := loads(5, 0, 5)
+	first, _ := sel.Select(ls, 1)
+	second, _ := sel.Select(ls, 1)
+	if first != "s-a" || second != "s-c" {
+		t.Fatalf("got %s,%s want s-a,s-c", first, second)
+	}
+	if _, ok := sel.Select(loads(0, 0), 1); ok {
+		t.Fatal("round robin selected a full site")
+	}
+}
+
+func TestLeastUsedPicksMostRelativeHeadroom(t *testing.T) {
+	ls := []SiteLoad{
+		{Name: "big", TotalCPUs: 1000, EstFreeCPUs: 100}, // 10% free
+		{Name: "small", TotalCPUs: 10, EstFreeCPUs: 8},   // 80% free
+		{Name: "mid", TotalCPUs: 100, EstFreeCPUs: 50},   // 50% free
+	}
+	site, ok := (LeastUsed{}).Select(ls, 1)
+	if !ok || site != "small" {
+		t.Fatalf("least-used picked %s, want small", site)
+	}
+	if _, ok := (LeastUsed{}).Select(ls, 9); !ok {
+		t.Fatal("demand 9 should still fit big/mid")
+	}
+	site, _ = (LeastUsed{}).Select(ls, 9)
+	if site != "mid" {
+		t.Fatalf("demand 9 picked %s, want mid", site)
+	}
+}
+
+func TestLRUPrefersColdSites(t *testing.T) {
+	sel := NewLeastRecentlyUsed()
+	ls := loads(5, 5, 5)
+	a, _ := sel.Select(ls, 1)
+	b, _ := sel.Select(ls, 1)
+	c, _ := sel.Select(ls, 1)
+	if a == b || b == c || a == c {
+		// first three picks must all differ
+	} else {
+		d, _ := sel.Select(ls, 1)
+		if d != a {
+			t.Fatalf("4th pick %s, want the least recently used %s", d, a)
+		}
+		return
+	}
+	t.Fatalf("picks not distinct: %s %s %s", a, b, c)
+}
+
+func TestUSLAAwareFiltersHeadroom(t *testing.T) {
+	ls := []SiteLoad{
+		{Name: "free-but-capped", TotalCPUs: 100, EstFreeCPUs: 90, Headroom: 0, TargetGap: -10},
+		{Name: "ok", TotalCPUs: 100, EstFreeCPUs: 20, Headroom: 15, TargetGap: 5},
+	}
+	site, ok := (USLAAware{}).Select(ls, 1)
+	if !ok || site != "ok" {
+		t.Fatalf("usla-aware picked %q, want ok", site)
+	}
+}
+
+func TestUSLAAwareRanksByTargetGap(t *testing.T) {
+	ls := []SiteLoad{
+		{Name: "over", TotalCPUs: 100, EstFreeCPUs: 50, Headroom: 50, TargetGap: -20},
+		{Name: "under", TotalCPUs: 100, EstFreeCPUs: 30, Headroom: 50, TargetGap: 25},
+		{Name: "at", TotalCPUs: 100, EstFreeCPUs: 60, Headroom: 50, TargetGap: 0},
+	}
+	site, _ := (USLAAware{}).Select(ls, 1)
+	if site != "under" {
+		t.Fatalf("picked %s, want under (largest target gap)", site)
+	}
+}
+
+func TestUSLAAwareTieBreaksByFreeCPUs(t *testing.T) {
+	ls := []SiteLoad{
+		{Name: "a", TotalCPUs: 100, EstFreeCPUs: 10, Headroom: 50, TargetGap: 5},
+		{Name: "b", TotalCPUs: 100, EstFreeCPUs: 40, Headroom: 50, TargetGap: 5},
+	}
+	site, _ := (USLAAware{}).Select(ls, 1)
+	if site != "b" {
+		t.Fatalf("picked %s, want b (more free CPUs)", site)
+	}
+}
+
+func TestUSLAAwareNoQualifiedSite(t *testing.T) {
+	ls := []SiteLoad{{Name: "x", TotalCPUs: 10, EstFreeCPUs: 0, Headroom: 10}}
+	if _, ok := (USLAAware{}).Select(ls, 1); ok {
+		t.Fatal("selected a site with no free CPUs")
+	}
+}
+
+func TestMostFreePicksAbsoluteMax(t *testing.T) {
+	ls := []SiteLoad{
+		{Name: "small-empty", TotalCPUs: 10, EstFreeCPUs: 10},
+		{Name: "big-half", TotalCPUs: 1000, EstFreeCPUs: 480},
+		{Name: "mid", TotalCPUs: 100, EstFreeCPUs: 90},
+	}
+	site, ok := (MostFree{}).Select(ls, 1)
+	if !ok || site != "big-half" {
+		t.Fatalf("most-free picked %q, want big-half", site)
+	}
+	if _, ok := (MostFree{}).Select(ls, 500); ok {
+		t.Fatal("selected a site without enough CPUs")
+	}
+	// Deterministic tie-break by name.
+	tie := []SiteLoad{
+		{Name: "b", TotalCPUs: 10, EstFreeCPUs: 5},
+		{Name: "a", TotalCPUs: 10, EstFreeCPUs: 5},
+	}
+	if site, _ := (MostFree{}).Select(tie, 1); site != "a" {
+		t.Fatalf("tie-break picked %q, want a", site)
+	}
+}
+
+func TestSelectorNames(t *testing.T) {
+	sels := []Selector{NewRandom(netsim.Stream(1, "x")), NewRoundRobin(), LeastUsed{}, NewLeastRecentlyUsed(), USLAAware{}, MostFree{}}
+	seen := map[string]bool{}
+	for _, s := range sels {
+		if s.Name() == "" || seen[s.Name()] {
+			t.Fatalf("bad or duplicate selector name %q", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+}

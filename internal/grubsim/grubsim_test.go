@@ -1,0 +1,250 @@
+package grubsim
+
+import (
+	"testing"
+	"time"
+)
+
+// small returns a fast, saturating baseline config for unit tests:
+// 20 clients against 1-worker DPs with 1s service — capacity 1 op/s per
+// DP, offered ≈ 4 op/s.
+func small(dps int) Params {
+	return Params{
+		Seed:         1,
+		ServiceMean:  time.Second,
+		ServiceSigma: 0.3,
+		Workers:      1,
+		QueueLimit:   256,
+		WANLatency:   20 * time.Millisecond,
+		WANSigma:     0.3,
+		Clients:      20,
+		Interarrival: 4 * time.Second,
+		Timeout:      20 * time.Second,
+		Duration:     10 * time.Minute,
+		InitialDPs:   dps,
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := Run(small(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Run(small(2))
+	if a.Handled != b.Handled || a.TimedOut != b.TimedOut || a.MeanResponse != b.MeanResponse {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSeedChangesOutcome(t *testing.T) {
+	a, _ := Run(small(2))
+	p := small(2)
+	p.Seed = 99
+	b, _ := Run(p)
+	if a.MeanResponse == b.MeanResponse {
+		t.Fatal("different seeds produced identical response profile")
+	}
+}
+
+func TestThroughputScalesWithDPs(t *testing.T) {
+	r1, _ := Run(small(1))
+	r3, _ := Run(small(3))
+	r8, _ := Run(small(8))
+	if !(r3.Throughput > 1.5*r1.Throughput) {
+		t.Fatalf("3 DPs %.2f/s not > 1.5× 1 DP %.2f/s", r3.Throughput, r1.Throughput)
+	}
+	if !(r8.Throughput > r3.Throughput) {
+		t.Fatalf("8 DPs %.2f/s not > 3 DPs %.2f/s", r8.Throughput, r3.Throughput)
+	}
+	// Response moves the other way.
+	if !(r3.MeanResponse < r1.MeanResponse) {
+		t.Fatalf("3 DP response %v not < 1 DP response %v", r3.MeanResponse, r1.MeanResponse)
+	}
+}
+
+func TestSaturatedSingleDPApproachesCapacity(t *testing.T) {
+	// Note: past the timeout cliff (clients/(interarrival+timeout) ≥
+	// capacity) the simulator reproduces the paper's congestion collapse:
+	// almost every served response arrives after its client gave up.
+	// 15 clients saturate the 1 op/s point while staying on the stable
+	// side of the timeout cliff: throughput pins near capacity and
+	// queueing dominates the response time.
+	p := small(1)
+	p.Clients = 15
+	r, _ := Run(p)
+	if r.Throughput > 1.05 {
+		t.Fatalf("throughput %.2f/s above capacity 1/s", r.Throughput)
+	}
+	if r.Throughput < 0.5 {
+		t.Fatalf("throughput %.2f/s suspiciously below capacity", r.Throughput)
+	}
+	if r.MeanResponse < 3*time.Second {
+		t.Fatalf("mean response %v shows no queueing at saturation", r.MeanResponse)
+	}
+}
+
+func TestUnderloadedResponseIsFast(t *testing.T) {
+	p := small(8)
+	p.Clients = 4 // offered 1/s vs capacity 8/s
+	r, _ := Run(p)
+	if r.TimedOut != 0 || r.Shed != 0 {
+		t.Fatalf("underloaded run had %d timeouts %d sheds", r.TimedOut, r.Shed)
+	}
+	// Response ≈ service + 2×WAN.
+	if r.MeanResponse > 2*time.Second {
+		t.Fatalf("underloaded response %v too high", r.MeanResponse)
+	}
+}
+
+func TestTimeoutSemantics(t *testing.T) {
+	p := small(1)
+	p.Timeout = 3 * time.Second
+	p.Clients = 30
+	r, _ := Run(p)
+	if r.TimedOut == 0 {
+		t.Fatal("tight timeout produced no timeouts under overload")
+	}
+	// Every operation resolves exactly once.
+	if r.Handled+r.TimedOut+r.Shed > r.Total {
+		t.Fatalf("resolutions %d exceed submissions %d",
+			r.Handled+r.TimedOut+r.Shed, r.Total)
+	}
+}
+
+func TestQueueLimitSheds(t *testing.T) {
+	p := small(1)
+	p.QueueLimit = 2
+	p.Clients = 40
+	r, _ := Run(p)
+	if r.Shed == 0 {
+		t.Fatal("tiny queue limit never shed")
+	}
+}
+
+func TestDynamicProvisioningConverges(t *testing.T) {
+	p := small(1)
+	p.Dynamic = true
+	p.ResponseBound = 2 * time.Second
+	p.MonitorInterval = 30 * time.Second
+	p.Duration = 30 * time.Minute
+	r, _ := Run(p)
+	if r.AddedDPs == 0 {
+		t.Fatal("overloaded deployment never grew")
+	}
+	if r.FinalDPs != 1+r.AddedDPs {
+		t.Fatalf("final %d != initial 1 + added %d", r.FinalDPs, r.AddedDPs)
+	}
+	// Offered load ≈ 20/(4+2) ≈ 3.3/s at the bound; capacity 1/s per DP
+	// → converge to roughly 4±2 points, and stop growing.
+	if r.FinalDPs < 3 || r.FinalDPs > 8 {
+		t.Fatalf("final DPs = %d, expected ≈4", r.FinalDPs)
+	}
+	// The tail of the run must be calm: last window response under bound.
+	last := r.ResponseCurve[len(r.ResponseCurve)-1]
+	if last > p.ResponseBound.Seconds()*1.5 {
+		t.Fatalf("response %v still above bound after provisioning", last)
+	}
+	if len(r.AddTimes) != r.AddedDPs {
+		t.Fatal("add times not recorded")
+	}
+}
+
+func TestDynamicRespectsMaxDPs(t *testing.T) {
+	p := small(1)
+	p.Dynamic = true
+	p.ResponseBound = 100 * time.Millisecond // unattainable
+	p.MaxDPs = 3
+	r, _ := Run(p)
+	if r.FinalDPs > 3 {
+		t.Fatalf("grew past MaxDPs: %d", r.FinalDPs)
+	}
+	if r.OverloadEvents <= r.AddedDPs {
+		t.Fatal("overload events should keep firing at the cap")
+	}
+}
+
+func TestStaticDeploymentNeverGrows(t *testing.T) {
+	r, _ := Run(small(2))
+	if r.FinalDPs != 2 || r.AddedDPs != 0 {
+		t.Fatalf("static run changed deployment: %+v", r)
+	}
+}
+
+func TestLoadBalanceAcrossDPs(t *testing.T) {
+	p := small(4)
+	p.Clients = 40
+	r, _ := Run(p)
+	if len(r.PerDPHandled) != 4 {
+		t.Fatalf("per-DP stats = %v", r.PerDPHandled)
+	}
+	min, max := r.PerDPHandled[0], r.PerDPHandled[0]
+	for _, h := range r.PerDPHandled {
+		if h < min {
+			min = h
+		}
+		if h > max {
+			max = h
+		}
+	}
+	if min == 0 || float64(max) > 1.5*float64(min) {
+		t.Fatalf("static round-robin binding badly imbalanced: %v", r.PerDPHandled)
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	if _, err := Run(Params{}); err == nil {
+		t.Fatal("empty params accepted")
+	}
+	if _, err := Run(Params{Clients: 1, InitialDPs: 0, Duration: time.Minute}); err == nil {
+		t.Fatal("zero DPs accepted")
+	}
+}
+
+func TestCurvesProduced(t *testing.T) {
+	p := small(2)
+	p.Window = time.Minute
+	r, _ := Run(p)
+	if len(r.ResponseCurve) < 8 || len(r.ThroughputCurve) < 8 {
+		t.Fatalf("curves too short: %d/%d windows", len(r.ResponseCurve), len(r.ThroughputCurve))
+	}
+	if r.PeakWindowResponse <= 0 {
+		t.Fatal("no peak response recorded")
+	}
+}
+
+func TestServiceFromProfileOrdering(t *testing.T) {
+	gt3 := GT3Params(1)
+	gt4 := GT4Params(1)
+	if gt4.ServiceMean <= gt3.ServiceMean {
+		t.Fatal("GT4 service demand should exceed GT3")
+	}
+}
+
+func TestPaperScenarioShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hour-long simulated scenarios")
+	}
+	// The headline qualitative results of Figures 5-7/9-11 and Table 3,
+	// asserted as invariant shapes rather than absolute numbers.
+	r1, _ := Run(GT3Params(1))
+	r3, _ := Run(GT3Params(3))
+	r10, _ := Run(GT3Params(10))
+	if !(r3.Throughput > 2*r1.Throughput && r3.Throughput < 4.5*r1.Throughput) {
+		t.Fatalf("GT3 3-DP factor %.2f outside [2, 4.5]", r3.Throughput/r1.Throughput)
+	}
+	if !(r10.Throughput > 4*r1.Throughput) {
+		t.Fatalf("GT3 10-DP factor %.2f below 4", r10.Throughput/r1.Throughput)
+	}
+	g1, _ := Run(GT4Params(1))
+	if g1.Throughput >= r1.Throughput {
+		t.Fatal("GT4 1-DP throughput should trail GT3")
+	}
+	// GRUB-SIM's refinement: a handful of decision points suffice for a
+	// grid 10× Grid3 — the paper's four-to-six band.
+	dyn := GT3Params(1)
+	dyn.Dynamic = true
+	d, _ := Run(dyn)
+	if d.FinalDPs < 4 || d.FinalDPs > 7 {
+		t.Fatalf("GRUB-SIM converged to %d DPs, expected 4-7", d.FinalDPs)
+	}
+}

@@ -1,0 +1,62 @@
+package grubsim
+
+import (
+	"time"
+
+	"digruber/internal/wire"
+)
+
+// QueryPayloadBytes approximates the wire size of one full DI-GRUBER
+// scheduling interaction (site-load reply for hundreds of sites plus the
+// dispatch report) used when deriving simulator service times from the
+// emulated toolkit profiles.
+const QueryPayloadBytes = 24 << 10
+
+// ServiceFromProfile derives the simulator's per-request service-time
+// mean and worker count from a wire.StackProfile — the "performance
+// models created by DiPerF" the paper feeds GRUB-SIM. The two round
+// trips of a scheduling operation are folded into one aggregate service
+// demand.
+func ServiceFromProfile(p wire.StackProfile) (mean time.Duration, workers int) {
+	// Query (large payload) + dispatch report (small payload).
+	mean = p.ServiceTime(QueryPayloadBytes) + p.ServiceTime(512)
+	return mean, p.Workers()
+}
+
+// GT3Params returns simulation parameters calibrated to the GT3
+// deployment of the paper's experiments: ~120 clients against decision
+// points whose aggregate service demand saturates one point around two
+// scheduling operations per second.
+func GT3Params(initialDPs int) Params {
+	mean, workers := ServiceFromProfile(wire.GT3())
+	return Params{
+		Seed:         1,
+		ServiceMean:  mean,
+		ServiceSigma: 0.3,
+		Workers:      workers,
+		QueueLimit:   512,
+		WANLatency:   60 * time.Millisecond,
+		WANSigma:     0.4,
+		Clients:      120,
+		Interarrival: 5 * time.Second,
+		Timeout:      30 * time.Second,
+		Duration:     time.Hour,
+		InitialDPs:   initialDPs,
+		// "Adequate Response" for the provisioner: a loaded operation
+		// should stay within a small multiple of the unloaded ~1s cost.
+		ResponseBound: 2500 * time.Millisecond,
+	}
+}
+
+// GT4Params mirrors the GT4-prerelease deployment: slower service stack,
+// somewhat fewer testers (the paper notes the GT4 runs peaked below the
+// GT3 client count).
+func GT4Params(initialDPs int) Params {
+	mean, workers := ServiceFromProfile(wire.GT4())
+	p := GT3Params(initialDPs)
+	p.ServiceMean = mean
+	p.Workers = workers
+	p.Clients = 60
+	p.ResponseBound = 3500 * time.Millisecond
+	return p
+}

@@ -1,0 +1,102 @@
+package grubsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestPropertyConservation checks, across random configurations, the
+// simulator's accounting invariants: every resolution corresponds to a
+// submission, throughput never exceeds aggregate service capacity, and
+// the final deployment is consistent with the provisioning log.
+func TestPropertyConservation(t *testing.T) {
+	f := func(seed int64, clientsRaw, dpsRaw, workersRaw uint8, dynamic bool) bool {
+		p := Params{
+			Seed:         seed,
+			ServiceMean:  800 * time.Millisecond,
+			ServiceSigma: 0.3,
+			Workers:      1 + int(workersRaw%4),
+			QueueLimit:   64,
+			WANLatency:   30 * time.Millisecond,
+			WANSigma:     0.3,
+			Clients:      1 + int(clientsRaw%40),
+			Interarrival: 3 * time.Second,
+			Timeout:      15 * time.Second,
+			Duration:     5 * time.Minute,
+			InitialDPs:   1 + int(dpsRaw%4),
+			Dynamic:      dynamic,
+			MaxDPs:       8,
+		}
+		r, err := Run(p)
+		if err != nil {
+			return false
+		}
+		// Conservation: resolutions never exceed submissions.
+		if r.Handled+r.TimedOut+r.Shed > r.Total {
+			return false
+		}
+		// Capacity: handled rate cannot exceed fleet service capacity
+		// (with slack for the log-normal service draw).
+		capacity := float64(r.FinalDPs*p.Workers) / p.ServiceMean.Seconds() * 1.5
+		if r.Throughput > capacity {
+			return false
+		}
+		// Deployment bookkeeping.
+		if r.FinalDPs != p.InitialDPs+r.AddedDPs {
+			return false
+		}
+		if !p.Dynamic && r.AddedDPs != 0 {
+			return false
+		}
+		if r.FinalDPs > p.MaxDPs {
+			return false
+		}
+		// Per-DP stats cover the whole fleet and sum to Handled.
+		if len(r.PerDPHandled) != r.FinalDPs {
+			return false
+		}
+		sum := 0
+		for _, h := range r.PerDPHandled {
+			sum += h
+		}
+		return sum == r.Handled
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMoreDPsNeverHurtThroughput checks monotonicity: under a
+// fixed overloaded workload, adding decision points never reduces
+// handled throughput materially (allowing 10% noise from the
+// per-configuration random draws).
+func TestPropertyMoreDPsNeverHurtThroughput(t *testing.T) {
+	base := Params{
+		Seed:         7,
+		ServiceMean:  time.Second,
+		ServiceSigma: 0.2,
+		Workers:      1,
+		QueueLimit:   128,
+		Clients:      30,
+		Interarrival: 2 * time.Second,
+		Timeout:      20 * time.Second,
+		Duration:     15 * time.Minute,
+	}
+	prev := 0.0
+	for dps := 1; dps <= 8; dps *= 2 {
+		p := base
+		p.InitialDPs = dps
+		r, err := Run(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Throughput < prev*0.9 {
+			t.Fatalf("throughput fell from %.2f to %.2f when growing to %d DPs", prev, r.Throughput, dps)
+		}
+		if r.Throughput > prev {
+			prev = r.Throughput
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package grubsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"digruber/internal/netsim"
+)
+
+// Arrival is one request arrival of a recorded trace: which client
+// submitted, and when (offset from the run start). The paper's GRUB-SIM
+// "took the traces from the tests presented in the previous section";
+// the live harness records these during emulation runs.
+type Arrival struct {
+	At     time.Duration `json:"at"`
+	Client int           `json:"client"`
+}
+
+// Trace is an ordered arrival log.
+type Trace []Arrival
+
+// Sort orders the trace by time (stable on client).
+func (tr Trace) Sort() {
+	sort.SliceStable(tr, func(i, j int) bool { return tr[i].At < tr[j].At })
+}
+
+// Span returns the time of the last arrival (0 for an empty trace).
+func (tr Trace) Span() time.Duration {
+	if len(tr) == 0 {
+		return 0
+	}
+	last := tr[0].At
+	for _, a := range tr[1:] {
+		if a.At > last {
+			last = a.At
+		}
+	}
+	return last
+}
+
+// MaxClient returns the largest client index (-1 for an empty trace).
+func (tr Trace) MaxClient() int {
+	max := -1
+	for _, a := range tr {
+		if a.Client > max {
+			max = a.Client
+		}
+	}
+	return max
+}
+
+// WriteJSON serializes the trace.
+func (tr Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// ReadTraceJSON deserializes a trace.
+func ReadTraceJSON(r io.Reader) (Trace, error) {
+	var tr Trace
+	if err := json.NewDecoder(r).Decode(&tr); err != nil {
+		return nil, fmt.Errorf("grubsim: read trace: %w", err)
+	}
+	return tr, nil
+}
+
+// RunTrace replays a recorded arrival trace open-loop through the
+// simulated decision points: every arrival submits exactly once at its
+// recorded instant (no closed-loop resubmission), while service,
+// timeout, shedding and dynamic provisioning behave as in Run. The
+// params' Clients and Interarrival fields are ignored; Duration defaults
+// to the trace span plus one timeout.
+func RunTrace(p Params, trace Trace) (Result, error) {
+	if len(trace) == 0 {
+		return Result{}, fmt.Errorf("grubsim: empty trace")
+	}
+	p.Clients = trace.MaxClient() + 1
+	if p.Duration <= 0 {
+		p.Duration = trace.Span() + p.Timeout + time.Minute
+	}
+	if err := p.setDefaults(); err != nil {
+		return Result{}, err
+	}
+	s := &sim{
+		p:        p,
+		svcRNG:   netsim.Stream(p.Seed, "grubsim.service"),
+		wanRNG:   netsim.Stream(p.Seed, "grubsim.wan"),
+		origin:   time.Unix(0, 0).UTC(),
+		openLoop: true,
+	}
+	for i := 0; i < p.InitialDPs; i++ {
+		s.dps = append(s.dps, &dpState{})
+	}
+	s.assign = make([]int, p.Clients)
+	for c := range s.assign {
+		s.assign[c] = c % len(s.dps)
+	}
+	for _, a := range trace {
+		s.schedule(a.At, evSubmit, a.Client, 0, nil)
+	}
+	if p.Dynamic {
+		s.schedule(p.MonitorInterval, evMonitor, 0, 0, nil)
+	}
+	s.loop()
+	s.finish()
+	return s.res, nil
+}

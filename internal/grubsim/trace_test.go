@@ -1,0 +1,111 @@
+package grubsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func syntheticTrace(n int, clients int, spacing time.Duration) Trace {
+	tr := make(Trace, n)
+	for i := range tr {
+		tr[i] = Arrival{At: time.Duration(i) * spacing, Client: i % clients}
+	}
+	return tr
+}
+
+func traceParams() Params {
+	return Params{
+		Seed:        1,
+		ServiceMean: time.Second,
+		Workers:     1,
+		QueueLimit:  128,
+		Timeout:     20 * time.Second,
+		InitialDPs:  1,
+	}
+}
+
+func TestRunTraceOpenLoop(t *testing.T) {
+	// 120 arrivals at 2/s against 1 op/s capacity: exactly one
+	// submission per arrival (open loop), no resubmission.
+	tr := syntheticTrace(120, 10, 500*time.Millisecond)
+	r, err := RunTrace(traceParams(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total != 120 {
+		t.Fatalf("total = %d, want exactly the trace length", r.Total)
+	}
+	if r.Handled+r.TimedOut+r.Shed != 120 {
+		t.Fatalf("resolutions %d+%d+%d != 120", r.Handled, r.TimedOut, r.Shed)
+	}
+	// Overloaded 2:1 → roughly half must miss the timeout eventually.
+	if r.TimedOut == 0 {
+		t.Fatal("overloaded open-loop replay produced no timeouts")
+	}
+}
+
+func TestRunTraceDeterministic(t *testing.T) {
+	tr := syntheticTrace(200, 20, 300*time.Millisecond)
+	a, _ := RunTrace(traceParams(), tr)
+	b, _ := RunTrace(traceParams(), tr)
+	if a.Handled != b.Handled || a.MeanResponse != b.MeanResponse {
+		t.Fatal("trace replay not deterministic")
+	}
+}
+
+func TestRunTraceDynamicProvisions(t *testing.T) {
+	p := traceParams()
+	p.Dynamic = true
+	p.MonitorInterval = 10 * time.Second
+	p.ResponseBound = 2 * time.Second
+	tr := syntheticTrace(600, 30, 200*time.Millisecond) // 5/s vs 1/s per DP
+	r, err := RunTrace(p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AddedDPs == 0 {
+		t.Fatal("dynamic replay never provisioned")
+	}
+}
+
+func TestRunTraceEmpty(t *testing.T) {
+	if _, err := RunTrace(traceParams(), nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	tr := Trace{{At: 3 * time.Second, Client: 2}, {At: time.Second, Client: 5}}
+	tr.Sort()
+	if tr[0].At != time.Second {
+		t.Fatal("sort failed")
+	}
+	if tr.Span() != 3*time.Second {
+		t.Fatalf("span = %v", tr.Span())
+	}
+	if tr.MaxClient() != 5 {
+		t.Fatalf("max client = %d", tr.MaxClient())
+	}
+	if (Trace{}).Span() != 0 || (Trace{}).MaxClient() != -1 {
+		t.Fatal("empty trace helpers wrong")
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := syntheticTrace(50, 5, time.Second)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTraceJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tr) || back[7] != tr[7] {
+		t.Fatal("json round trip lost data")
+	}
+	if _, err := ReadTraceJSON(bytes.NewBufferString("not json")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}

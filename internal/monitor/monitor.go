@@ -1,0 +1,108 @@
+// Package monitor is the reproduction's stand-in for the grid monitoring
+// systems the GRUBER engine consumes (the paper names its own site
+// monitor, with MonALISA or the Grid Catalog as drop-in alternatives).
+// A Monitor periodically snapshots every site of a grid and pushes the
+// statuses to subscribed engines. The data provider is deliberately
+// pluggable: anything returning []grid.Status can replace it.
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"digruber/internal/grid"
+	"digruber/internal/vtime"
+)
+
+// Source produces site status snapshots. *grid.Grid satisfies it.
+type Source interface {
+	Snapshot() []grid.Status
+}
+
+// Sink receives status updates (the GRUBER engine implements this).
+type Sink interface {
+	UpdateSites(statuses []grid.Status, at time.Time)
+}
+
+// Monitor polls a Source on a fixed period and fans snapshots out to
+// sinks, timestamping each batch.
+type Monitor struct {
+	source Source
+	clock  vtime.Clock
+	period time.Duration
+
+	mu     sync.Mutex
+	sinks  []Sink
+	ticker vtime.Ticker
+	done   chan struct{}
+	polls  int
+}
+
+// New returns a monitor polling source every period.
+func New(source Source, clock vtime.Clock, period time.Duration) *Monitor {
+	return &Monitor{source: source, clock: clock, period: period}
+}
+
+// Subscribe registers a sink; it immediately receives a snapshot so new
+// decision points start with a fresh view.
+func (m *Monitor) Subscribe(s Sink) {
+	m.mu.Lock()
+	m.sinks = append(m.sinks, s)
+	m.mu.Unlock()
+	s.UpdateSites(m.source.Snapshot(), m.clock.Now())
+}
+
+// Start begins periodic polling; it is a no-op if already started.
+func (m *Monitor) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done != nil {
+		return
+	}
+	m.done = make(chan struct{})
+	m.ticker = m.clock.NewTicker(m.period)
+	go m.loop(m.ticker, m.done)
+}
+
+func (m *Monitor) loop(ticker vtime.Ticker, done chan struct{}) {
+	for {
+		select {
+		case <-ticker.C():
+			m.Poll()
+		case <-done:
+			return
+		}
+	}
+}
+
+// Poll performs one snapshot-and-fanout immediately.
+func (m *Monitor) Poll() {
+	statuses := m.source.Snapshot()
+	at := m.clock.Now()
+	m.mu.Lock()
+	sinks := append([]Sink(nil), m.sinks...)
+	m.polls++
+	m.mu.Unlock()
+	for _, s := range sinks {
+		s.UpdateSites(statuses, at)
+	}
+}
+
+// Polls reports how many poll cycles have run (for tests).
+func (m *Monitor) Polls() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.polls
+}
+
+// Stop ends periodic polling.
+func (m *Monitor) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done == nil {
+		return
+	}
+	m.ticker.Stop()
+	close(m.done)
+	m.done = nil
+}

@@ -1,0 +1,127 @@
+package monitor
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"digruber/internal/grid"
+	"digruber/internal/vtime"
+)
+
+var epoch = time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+
+type fakeSource struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *fakeSource) Snapshot() []grid.Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	return []grid.Status{{Name: "s0", TotalCPUs: 10, FreeCPUs: f.calls}}
+}
+
+type recordingSink struct {
+	mu      sync.Mutex
+	updates [][]grid.Status
+	times   []time.Time
+}
+
+func (r *recordingSink) UpdateSites(st []grid.Status, at time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.updates = append(r.updates, st)
+	r.times = append(r.times, at)
+}
+
+func (r *recordingSink) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.updates)
+}
+
+func TestSubscribeDeliversImmediateSnapshot(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	src := &fakeSource{}
+	m := New(src, clock, time.Minute)
+	sink := &recordingSink{}
+	m.Subscribe(sink)
+	if sink.count() != 1 {
+		t.Fatalf("updates = %d, want immediate snapshot", sink.count())
+	}
+	if sink.updates[0][0].Name != "s0" {
+		t.Fatalf("bad snapshot: %+v", sink.updates[0])
+	}
+}
+
+func TestPollFansOutToAllSinks(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	m := New(&fakeSource{}, clock, time.Minute)
+	a, b := &recordingSink{}, &recordingSink{}
+	m.Subscribe(a)
+	m.Subscribe(b)
+	m.Poll()
+	if a.count() != 2 || b.count() != 2 {
+		t.Fatalf("counts = %d/%d, want 2/2", a.count(), b.count())
+	}
+	if m.Polls() != 1 {
+		t.Fatalf("polls = %d", m.Polls())
+	}
+}
+
+func TestPeriodicPolling(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	m := New(&fakeSource{}, clock, time.Minute)
+	sink := &recordingSink{}
+	m.Subscribe(sink)
+	m.Start()
+	defer m.Stop()
+	for i := 0; i < 3; i++ {
+		clock.Advance(time.Minute)
+		want := i + 1
+		deadline := time.Now().Add(2 * time.Second)
+		for m.Polls() < want && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if m.Polls() < want {
+			t.Fatalf("polls = %d after %d ticks", m.Polls(), want)
+		}
+	}
+	m.Stop()
+	polls := m.Polls()
+	clock.Advance(10 * time.Minute)
+	time.Sleep(20 * time.Millisecond)
+	if m.Polls() != polls {
+		t.Fatal("monitor kept polling after Stop")
+	}
+}
+
+func TestStartIdempotent(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	m := New(&fakeSource{}, clock, time.Minute)
+	m.Start()
+	m.Start() // no double ticker
+	defer m.Stop()
+	clock.Advance(time.Minute)
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Polls() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if m.Polls() != 1 {
+		t.Fatalf("polls = %d, want exactly 1", m.Polls())
+	}
+}
+
+func TestTimestampsComeFromClock(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	m := New(&fakeSource{}, clock, time.Minute)
+	sink := &recordingSink{}
+	m.Subscribe(sink)
+	clock.Advance(42 * time.Second)
+	m.Poll()
+	if got := sink.times[1]; !got.Equal(epoch.Add(42 * time.Second)) {
+		t.Fatalf("timestamp = %v", got)
+	}
+}

@@ -1,0 +1,40 @@
+// Package netsim models the wide-area network the paper ran on: PlanetLab
+// nodes connected by WAN links with latencies in the tens to hundreds of
+// milliseconds and roughly 10 Mb/s links (100 Mb/s on a few nodes). The
+// paper's emulation substitutes for a real grid; ours substitutes for
+// PlanetLab itself, so every RPC and file transfer in the reproduction
+// asks this package how long the wire would have taken.
+//
+// All randomness is derived from named deterministic streams so an entire
+// experiment replays identically from a single seed.
+package netsim
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// Stream returns a rand.Rand seeded deterministically from a master seed
+// and a stream name. Distinct names yield statistically independent
+// streams; the same (seed, name) pair always yields the same sequence, so
+// every component of an experiment (workload, link jitter, failure
+// injection, ...) can draw from its own replayable source.
+func Stream(seed int64, name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	mixed := int64(h.Sum64()) ^ int64(uint64(seed)*0x9E3779B97F4A7C15)
+	return rand.New(rand.NewSource(mixed))
+}
+
+// pairSeed derives a stable seed for an (a, b) node pair. It is symmetric
+// so latency between two nodes is the same in both directions.
+func pairSeed(seed int64, a, b string) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	h := fnv.New64a()
+	h.Write([]byte(a))
+	h.Write([]byte{0})
+	h.Write([]byte(b))
+	return int64(h.Sum64()) ^ int64(uint64(seed)*0x9E3779B97F4A7C15)
+}

@@ -1,0 +1,115 @@
+// Package stats provides the small statistical toolkit the DI-GRUBER
+// reproduction uses to report results the way the paper does: per-figure
+// summary rows (minimum / median / average / maximum / standard deviation
+// / peak) and time-windowed series of load, response time and throughput.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics reported under every figure in
+// the paper (e.g. "Service Response Time: Minimum / Median / Average /
+// Maximum / Standard Deviation").
+type Summary struct {
+	N      int
+	Min    float64
+	Median float64
+	Mean   float64
+	Max    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary over xs. A zero-valued Summary is returned
+// for empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // guard against floating-point cancellation
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Median: percentileSorted(sorted, 50),
+		Mean:   mean,
+		Max:    sorted[len(sorted)-1],
+		StdDev: math.Sqrt(variance),
+	}
+}
+
+// String renders the summary as a compact paper-style row.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.2f med=%.2f avg=%.2f max=%.2f sd=%.2f",
+		s.N, s.Min, s.Median, s.Mean, s.Max, s.StdDev)
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

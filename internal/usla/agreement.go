@@ -1,0 +1,116 @@
+package usla
+
+import (
+	"encoding/xml"
+	"fmt"
+	"time"
+)
+
+// Agreement is the WS-Agreement-style envelope the paper bases its SLA
+// specification on: a context naming the two parties and an expiration,
+// plus guarantee terms each carrying one fair-share rule expressed as a
+// goal. It is a deliberate subset of the WS-Agreement specification —
+// "taking advantage of the refined specification and the high-level
+// structure" — sufficient for monitoring resources and goal
+// specifications.
+type Agreement struct {
+	XMLName xml.Name        `xml:"Agreement" json:"-"`
+	Name    string          `xml:"name,attr" json:"name"`
+	Context Context         `xml:"Context" json:"context"`
+	Terms   []GuaranteeTerm `xml:"Terms>GuaranteeTerm" json:"terms"`
+}
+
+// Context names the agreement's parties and lifetime.
+type Context struct {
+	// Provider is the resource owner (a site, or "*" in templates).
+	Provider string `xml:"AgreementProvider" json:"provider"`
+	// Consumer is the dotted consumer path the agreement grants to.
+	Consumer string `xml:"AgreementConsumer" json:"consumer"`
+	// Expiration ends the agreement's validity (zero = no expiry).
+	Expiration time.Time `xml:"ExpirationTime,omitempty" json:"expiration,omitempty"`
+}
+
+// GuaranteeTerm carries one share rule as a service-level objective.
+type GuaranteeTerm struct {
+	Name string `xml:"name,attr" json:"name"`
+	// Resource is the allocated resource kind.
+	Resource Resource `xml:"ServiceScope>Resource" json:"resource"`
+	// Goal is the share in Maui notation, e.g. "30+".
+	Goal string `xml:"ServiceLevelObjective>Goal" json:"goal"`
+}
+
+// Entries converts the agreement into flat USLA entries, validating as it
+// goes. Expired agreements yield no entries.
+func (a *Agreement) Entries(now time.Time) ([]Entry, error) {
+	if !a.Context.Expiration.IsZero() && now.After(a.Context.Expiration) {
+		return nil, nil
+	}
+	if a.Context.Provider == "" {
+		return nil, fmt.Errorf("usla: agreement %q: empty provider", a.Name)
+	}
+	consumer, err := ParsePath(a.Context.Consumer)
+	if err != nil {
+		return nil, fmt.Errorf("usla: agreement %q: %w", a.Name, err)
+	}
+	entries := make([]Entry, 0, len(a.Terms))
+	for _, t := range a.Terms {
+		share, err := ParseShare(t.Goal)
+		if err != nil {
+			return nil, fmt.Errorf("usla: agreement %q, term %q: %w", a.Name, t.Name, err)
+		}
+		e := Entry{Provider: a.Context.Provider, Consumer: consumer, Resource: t.Resource, Share: share}
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("usla: agreement %q, term %q: %w", a.Name, t.Name, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// FromEntries builds one agreement per (provider, consumer) pair found in
+// entries — the inverse of Entries, used when a broker publishes its
+// USLAs for consumers to discover and interpret.
+func FromEntries(entries []Entry) []Agreement {
+	type key struct {
+		provider string
+		consumer Path
+	}
+	index := make(map[key]*Agreement)
+	var order []key
+	for _, e := range entries {
+		k := key{e.Provider, e.Consumer}
+		a, ok := index[k]
+		if !ok {
+			a = &Agreement{
+				Name:    fmt.Sprintf("usla-%s-%s", e.Provider, e.Consumer),
+				Context: Context{Provider: e.Provider, Consumer: e.Consumer.String()},
+			}
+			index[k] = a
+			order = append(order, k)
+		}
+		a.Terms = append(a.Terms, GuaranteeTerm{
+			Name:     fmt.Sprintf("%s-share", e.Resource),
+			Resource: e.Resource,
+			Goal:     e.Share.String(),
+		})
+	}
+	out := make([]Agreement, 0, len(order))
+	for _, k := range order {
+		out = append(out, *index[k])
+	}
+	return out
+}
+
+// MarshalXML renders the agreement as WS-Agreement-style XML.
+func (a *Agreement) XML() ([]byte, error) {
+	return xml.MarshalIndent(a, "", "  ")
+}
+
+// ParseAgreementXML parses one agreement document.
+func ParseAgreementXML(data []byte) (*Agreement, error) {
+	var a Agreement
+	if err := xml.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("usla: parse agreement: %w", err)
+	}
+	return &a, nil
+}

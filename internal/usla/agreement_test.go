@@ -1,0 +1,138 @@
+package usla
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func sampleAgreement() *Agreement {
+	return &Agreement{
+		Name: "atlas-cpu",
+		Context: Context{
+			Provider:   "site-004",
+			Consumer:   "atlas.higgs",
+			Expiration: time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC),
+		},
+		Terms: []GuaranteeTerm{
+			{Name: "cpu-share", Resource: CPU, Goal: "40+"},
+			{Name: "storage-share", Resource: Storage, Goal: "10"},
+		},
+	}
+}
+
+func TestAgreementXMLRoundTrip(t *testing.T) {
+	a := sampleAgreement()
+	data, err := a.XML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseAgreementXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != a.Name || back.Context.Provider != a.Context.Provider {
+		t.Fatalf("round trip lost context: %+v", back)
+	}
+	if len(back.Terms) != 2 || back.Terms[0].Goal != "40+" || back.Terms[1].Resource != Storage {
+		t.Fatalf("round trip lost terms: %+v", back.Terms)
+	}
+}
+
+func TestAgreementJSONRoundTrip(t *testing.T) {
+	a := sampleAgreement()
+	data, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Agreement
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Context.Consumer != "atlas.higgs" || len(back.Terms) != 2 {
+		t.Fatalf("json round trip: %+v", back)
+	}
+}
+
+func TestAgreementEntries(t *testing.T) {
+	a := sampleAgreement()
+	now := time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+	entries, err := a.Entries(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+	if entries[0].Provider != "site-004" || entries[0].Share != (Share{40, UpperLimit}) {
+		t.Fatalf("entry[0] = %+v", entries[0])
+	}
+}
+
+func TestAgreementExpired(t *testing.T) {
+	a := sampleAgreement()
+	after := a.Context.Expiration.Add(time.Hour)
+	entries, err := a.Entries(after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatal("expired agreement still yields entries")
+	}
+}
+
+func TestAgreementNoExpiry(t *testing.T) {
+	a := sampleAgreement()
+	a.Context.Expiration = time.Time{}
+	entries, err := a.Entries(time.Date(2100, 1, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil || len(entries) != 2 {
+		t.Fatalf("zero expiration should mean no expiry: %v %d", err, len(entries))
+	}
+}
+
+func TestAgreementBadGoal(t *testing.T) {
+	a := sampleAgreement()
+	a.Terms[0].Goal = "oops"
+	if _, err := a.Entries(time.Time{}); err == nil {
+		t.Fatal("bad goal accepted")
+	}
+}
+
+func TestAgreementBadConsumer(t *testing.T) {
+	a := sampleAgreement()
+	a.Context.Consumer = "a.b.c.d"
+	if _, err := a.Entries(time.Time{}); err == nil {
+		t.Fatal("bad consumer accepted")
+	}
+}
+
+func TestFromEntriesGroups(t *testing.T) {
+	entries, err := ParseTextString(`
+site-1 atlas cpu 30
+site-1 atlas storage 20
+site-2 atlas cpu 50+
+site-1 cms   cpu 10-
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agreements := FromEntries(entries)
+	if len(agreements) != 3 {
+		t.Fatalf("got %d agreements, want 3 (grouped by provider+consumer)", len(agreements))
+	}
+	if len(agreements[0].Terms) != 2 {
+		t.Fatalf("first agreement should carry both site-1/atlas terms: %+v", agreements[0])
+	}
+	// Entries -> Agreements -> Entries is lossless modulo grouping.
+	var back []Entry
+	for i := range agreements {
+		es, err := agreements[i].Entries(time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back = append(back, es...)
+	}
+	if len(back) != len(entries) {
+		t.Fatalf("round trip %d entries, want %d", len(back), len(entries))
+	}
+}

@@ -1,0 +1,67 @@
+package usla
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchSet builds the composite-workload policy shape: 10 VOs with
+// targets and caps plus 100 group targets.
+func benchSet(b *testing.B) *PolicySet {
+	b.Helper()
+	ps := NewPolicySet()
+	for v := 0; v < 10; v++ {
+		vo := Path{VO: fmt.Sprintf("vo-%02d", v)}
+		ps.Add(Entry{Provider: AnyProvider, Consumer: vo, Resource: CPU, Share: Share{10, Target}})
+		ps.Add(Entry{Provider: AnyProvider, Consumer: vo, Resource: CPU, Share: Share{20, UpperLimit}})
+		for g := 0; g < 10; g++ {
+			grp := Path{VO: vo.VO, Group: fmt.Sprintf("group-%02d", g)}
+			ps.Add(Entry{Provider: AnyProvider, Consumer: grp, Resource: CPU, Share: Share{10, Target}})
+		}
+	}
+	return ps
+}
+
+// BenchmarkHeadroom measures the per-site USLA evaluation performed for
+// every site of every query.
+func BenchmarkHeadroom(b *testing.B) {
+	ps := benchSet(b)
+	p := MustParsePath("vo-03.group-07")
+	usage := func(Path) float64 { return 12 }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.Headroom("site-042", p, CPU, 100, usage)
+	}
+}
+
+// BenchmarkEntitlement measures the recursive share resolution.
+func BenchmarkEntitlement(b *testing.B) {
+	ps := benchSet(b)
+	p := MustParsePath("vo-03.group-07")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ps.Entitlement("site-042", p, CPU, 30000)
+	}
+}
+
+// BenchmarkParseText measures loading a 120-rule policy file.
+func BenchmarkParseText(b *testing.B) {
+	var sb strings.Builder
+	for v := 0; v < 10; v++ {
+		fmt.Fprintf(&sb, "* vo-%02d cpu 10\n* vo-%02d cpu 20+\n", v, v)
+		for g := 0; g < 10; g++ {
+			fmt.Fprintf(&sb, "* vo-%02d.group-%02d cpu 10\n", v, g)
+		}
+	}
+	text := sb.String()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseTextString(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

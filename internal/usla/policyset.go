@@ -1,0 +1,270 @@
+package usla
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// PolicySet is an indexed collection of USLA entries with the resolution
+// and fair-share evaluation logic decision points run on every scheduling
+// request. It is safe for concurrent readers and writers — the paper's
+// brokers both evaluate USLAs per job and accept USLA updates at runtime.
+type PolicySet struct {
+	mu      sync.RWMutex
+	entries []Entry
+	// index[resource][consumer][provider] → accumulated limits
+	index map[Resource]map[Path]map[string]*limits
+}
+
+type limits struct {
+	target, upper, lower          float64
+	hasTarget, hasUpper, hasLower bool
+}
+
+// NewPolicySet returns an empty set.
+func NewPolicySet() *PolicySet {
+	return &PolicySet{index: make(map[Resource]map[Path]map[string]*limits)}
+}
+
+// Add validates and inserts one entry. Later entries of the same
+// (provider, consumer, resource, kind) replace earlier ones, which is how
+// USLA modification works at runtime.
+func (ps *PolicySet) Add(e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.entries = append(ps.entries, e)
+	byConsumer, ok := ps.index[e.Resource]
+	if !ok {
+		byConsumer = make(map[Path]map[string]*limits)
+		ps.index[e.Resource] = byConsumer
+	}
+	byProvider, ok := byConsumer[e.Consumer]
+	if !ok {
+		byProvider = make(map[string]*limits)
+		byConsumer[e.Consumer] = byProvider
+	}
+	l, ok := byProvider[e.Provider]
+	if !ok {
+		l = &limits{}
+		byProvider[e.Provider] = l
+	}
+	switch e.Share.Kind {
+	case Target:
+		l.target, l.hasTarget = e.Share.Percent, true
+	case UpperLimit:
+		l.upper, l.hasUpper = e.Share.Percent, true
+	case LowerLimit:
+		l.lower, l.hasLower = e.Share.Percent, true
+	}
+	return nil
+}
+
+// AddAll inserts every entry, stopping at the first error.
+func (ps *PolicySet) AddAll(entries []Entry) error {
+	for _, e := range entries {
+		if err := ps.Add(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Entries returns a copy of all entries in insertion order.
+func (ps *PolicySet) Entries() []Entry {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	return append([]Entry(nil), ps.entries...)
+}
+
+// Len reports the number of entries.
+func (ps *PolicySet) Len() int {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	return len(ps.entries)
+}
+
+// Limits is the resolved per-level share for one consumer path level at
+// one provider, as percentages of the parent scope's allocation.
+// Unspecified components fall back to the paper's opportunistic model:
+// target defaults to the upper limit if one exists (else 100%), the upper
+// limit defaults to 100% ("free resources are acquired when available"),
+// and the lower limit defaults to 0%.
+type Limits struct {
+	Target float64
+	Upper  float64
+	Lower  float64
+	// Explicit reports whether any entry mentioned this (provider,
+	// consumer, resource) at all.
+	Explicit bool
+}
+
+// LimitsFor resolves the share for one consumer path at one provider.
+// A provider-specific entry overrides an AnyProvider entry per kind.
+func (ps *PolicySet) LimitsFor(provider string, consumer Path, res Resource) Limits {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	var merged limits
+	explicit := false
+	if byConsumer, ok := ps.index[res]; ok {
+		if byProvider, ok := byConsumer[consumer]; ok {
+			// Wildcard first, then provider-specific overriding it.
+			if l, ok := byProvider[AnyProvider]; ok {
+				merged.apply(*l)
+				explicit = true
+			}
+			if provider != AnyProvider {
+				if l, ok := byProvider[provider]; ok {
+					merged.apply(*l)
+					explicit = true
+				}
+			}
+		}
+	}
+	out := Limits{Target: 100, Upper: 100, Lower: 0, Explicit: explicit}
+	if merged.hasUpper {
+		out.Upper = merged.upper
+		out.Target = merged.upper // target defaults to cap when only a cap is given
+	}
+	if merged.hasTarget {
+		out.Target = merged.target
+	}
+	if merged.hasLower {
+		out.Lower = merged.lower
+	}
+	return out
+}
+
+func (l *limits) apply(o limits) {
+	if o.hasTarget {
+		l.target, l.hasTarget = o.target, true
+	}
+	if o.hasUpper {
+		l.upper, l.hasUpper = o.upper, true
+	}
+	if o.hasLower {
+		l.lower, l.hasLower = o.lower, true
+	}
+}
+
+// Entitlement is an absolute allocation (in resource units, e.g. CPUs)
+// resolved multiplicatively down a consumer path.
+type Entitlement struct {
+	Target float64
+	Upper  float64
+	Lower  float64
+}
+
+// Entitlement resolves the absolute allocation of consumer p at provider
+// for a resource of the given capacity. Each level's percentages apply to
+// the parent level's corresponding allocation, implementing the paper's
+// recursive VO → group → user extension of Maui fair share.
+func (ps *PolicySet) Entitlement(provider string, p Path, res Resource, capacity float64) Entitlement {
+	ent := Entitlement{Target: capacity, Upper: capacity, Lower: capacity}
+	for _, prefix := range p.Prefixes() {
+		l := ps.LimitsFor(provider, prefix, res)
+		ent.Target *= l.Target / 100
+		ent.Upper *= l.Upper / 100
+		ent.Lower *= l.Lower / 100
+	}
+	if p.Depth() == 0 {
+		ent.Lower = 0
+	}
+	return ent
+}
+
+// UsageFunc reports the current absolute usage of a consumer path at the
+// provider being evaluated. Usage of a parent path must include all of
+// its children (the caller aggregates).
+type UsageFunc func(p Path) float64
+
+// Headroom reports how many more resource units consumer p may claim at
+// provider under the hard (upper-limit) constraints of every level of its
+// path: a user must fit within the user cap, the group cap and the VO cap
+// simultaneously. Negative headroom (already over cap) clamps to 0.
+func (ps *PolicySet) Headroom(provider string, p Path, res Resource, capacity float64, usage UsageFunc) float64 {
+	room := capacity
+	scope := capacity
+	for _, prefix := range p.Prefixes() {
+		l := ps.LimitsFor(provider, prefix, res)
+		scope *= l.Upper / 100
+		if r := scope - usage(prefix); r < room {
+			room = r
+		}
+	}
+	if room < 0 {
+		return 0
+	}
+	return room
+}
+
+// TargetGap reports how far below (positive) or above (negative) its
+// fair-share target consumer p currently is at provider, in absolute
+// units. Site selectors rank candidate sites by descending TargetGap so
+// under-served consumers catch up — the enforcement bias of the paper's
+// V-PEP model.
+func (ps *PolicySet) TargetGap(provider string, p Path, res Resource, capacity float64, usage UsageFunc) float64 {
+	ent := ps.Entitlement(provider, p, res, capacity)
+	return ent.Target - usage(p)
+}
+
+// Allowed reports whether consumer p may claim demand more units at
+// provider right now.
+func (ps *PolicySet) Allowed(provider string, p Path, res Resource, capacity float64, usage UsageFunc, demand float64) bool {
+	return ps.Headroom(provider, p, res, capacity, usage) >= demand
+}
+
+// Validate checks cross-entry consistency and returns all problems found:
+// sibling targets that sum past 100%, lower limits above upper limits,
+// and groups/users whose parents have no entries at all are reported.
+func (ps *PolicySet) Validate() []error {
+	ps.mu.RLock()
+	defer ps.mu.RUnlock()
+	var errs []error
+
+	type scopeKey struct {
+		res      Resource
+		provider string
+		parent   Path
+	}
+	targetSums := make(map[scopeKey]float64)
+
+	for res, byConsumer := range ps.index {
+		for consumer, byProvider := range byConsumer {
+			for provider, l := range byProvider {
+				if l.hasLower && l.hasUpper && l.lower > l.upper {
+					errs = append(errs, fmt.Errorf(
+						"usla: %s %s %s: lower limit %.1f%% exceeds upper limit %.1f%%",
+						provider, consumer, res, l.lower, l.upper))
+				}
+				if l.hasTarget {
+					targetSums[scopeKey{res, provider, consumer.Parent()}] += l.target
+				}
+			}
+		}
+	}
+	for key, sum := range targetSums {
+		if sum > 100+1e-9 {
+			errs = append(errs, fmt.Errorf(
+				"usla: provider %s, scope %q, resource %s: sibling targets sum to %.1f%% > 100%%",
+				key.provider, key.parent, key.res, sum))
+		}
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return errs
+}
+
+// String renders the whole set in the text format, sorted for stability.
+func (ps *PolicySet) String() string {
+	entries := ps.Entries()
+	lines := make([]string, len(entries))
+	for i, e := range entries {
+		lines[i] = e.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

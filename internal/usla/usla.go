@@ -1,0 +1,140 @@
+// Package usla implements the usage service level agreement (USLA) model
+// GRUBER and DI-GRUBER broker against.
+//
+// The representation follows the paper: Maui-scheduler fair-share
+// semantics carried in a WS-Agreement-style envelope. Each entry binds a
+// provider (a site, or "*" for every site) and a consumer (a VO, a group
+// within a VO, or a user within a group — the paper's recursive
+// extension) to a share of a resource type:
+//
+//	VO.30   — target: aim for 30% (soft; opportunistic overshoot allowed)
+//	VO.30+  — upper limit: never exceed 30%
+//	VO.30-  — lower limit: at least 30% is guaranteed
+//
+// Group shares are fractions of their VO's allocation and user shares are
+// fractions of their group's allocation, so entitlements resolve
+// multiplicatively down the consumer path.
+package usla
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Resource identifies what a share allocates. The paper's allocations
+// cover processor time, permanent storage, and network bandwidth.
+type Resource string
+
+// Resource kinds.
+const (
+	CPU     Resource = "cpu"
+	Storage Resource = "storage"
+	Network Resource = "network"
+)
+
+// ValidResource reports whether r is one of the defined resource kinds.
+func ValidResource(r Resource) bool {
+	switch r {
+	case CPU, Storage, Network:
+		return true
+	}
+	return false
+}
+
+// ShareKind is the Maui sign suffix: no sign = target, '+' = upper limit,
+// '-' = lower limit.
+type ShareKind int
+
+// Share kinds.
+const (
+	Target ShareKind = iota
+	UpperLimit
+	LowerLimit
+)
+
+// String renders the kind as its Maui suffix.
+func (k ShareKind) String() string {
+	switch k {
+	case UpperLimit:
+		return "+"
+	case LowerLimit:
+		return "-"
+	default:
+		return ""
+	}
+}
+
+// Share is a fair-share percentage with its kind.
+type Share struct {
+	Percent float64
+	Kind    ShareKind
+}
+
+// ParseShare parses Maui notation such as "30", "30+", "12.5-".
+func ParseShare(s string) (Share, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Share{}, fmt.Errorf("usla: empty share")
+	}
+	kind := Target
+	switch s[len(s)-1] {
+	case '+':
+		kind = UpperLimit
+		s = s[:len(s)-1]
+	case '-':
+		kind = LowerLimit
+		s = s[:len(s)-1]
+	}
+	pct, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return Share{}, fmt.Errorf("usla: bad share %q: %w", s, err)
+	}
+	if pct < 0 || pct > 100 {
+		return Share{}, fmt.Errorf("usla: share %v%% out of [0,100]", pct)
+	}
+	return Share{Percent: pct, Kind: kind}, nil
+}
+
+// String renders the share in Maui notation.
+func (s Share) String() string {
+	return strconv.FormatFloat(s.Percent, 'f', -1, 64) + s.Kind.String()
+}
+
+// AnyProvider matches every site.
+const AnyProvider = "*"
+
+// Entry is one USLA rule: consumer gets share of resource at provider.
+type Entry struct {
+	// Provider is a site name or AnyProvider.
+	Provider string
+	// Consumer is the dotted consumer path: "vo", "vo.group", or
+	// "vo.group.user".
+	Consumer Path
+	// Resource is what is being shared.
+	Resource Resource
+	// Share is the percentage and its kind.
+	Share Share
+}
+
+// String renders the entry in the one-line text form.
+func (e Entry) String() string {
+	return fmt.Sprintf("%s %s %s %s", e.Provider, e.Consumer, e.Resource, e.Share)
+}
+
+// Validate checks an entry's fields.
+func (e Entry) Validate() error {
+	if e.Provider == "" {
+		return fmt.Errorf("usla: entry %v: empty provider", e)
+	}
+	if e.Consumer.VO == "" {
+		return fmt.Errorf("usla: entry %v: empty consumer", e)
+	}
+	if !ValidResource(e.Resource) {
+		return fmt.Errorf("usla: entry %v: unknown resource %q", e, e.Resource)
+	}
+	if e.Share.Percent < 0 || e.Share.Percent > 100 {
+		return fmt.Errorf("usla: entry %v: share out of range", e)
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package vtime
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Manual is a Clock that only moves when a test calls Advance or
+// AdvanceTo. Sleepers, timers and tickers fire synchronously, in timestamp
+// order, during the Advance call, which makes tests of periodic machinery
+// (state-exchange loops, site schedulers, timeout paths) deterministic.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	seq     int64 // tie-break so equal deadlines fire in creation order
+}
+
+// NewManual returns a manual clock set to start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+type waiter struct {
+	at   time.Time
+	seq  int64
+	fire func(now time.Time)
+	// period > 0 makes the waiter re-arm itself (ticker behaviour).
+	period  time.Duration
+	stopped bool
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Since implements Clock.
+func (m *Manual) Since(t time.Time) time.Duration { return m.Now().Sub(t) }
+
+// Sleep implements Clock. It blocks until another goroutine advances the
+// clock past the deadline.
+func (m *Manual) Sleep(d time.Duration) { <-m.After(d) }
+
+// After implements Clock.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	m.add(d, 0, func(now time.Time) { ch <- now })
+	return ch
+}
+
+// AfterFunc implements Clock.
+func (m *Manual) AfterFunc(d time.Duration, f func()) Timer {
+	w := m.add(d, 0, func(time.Time) { f() })
+	return manualTimer{m, w}
+}
+
+// NewTicker implements Clock.
+func (m *Manual) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("vtime: ticker period must be positive")
+	}
+	ch := make(chan time.Time, 1)
+	w := m.add(d, d, func(now time.Time) {
+		select {
+		case ch <- now:
+		default:
+		}
+	})
+	return &manualTicker{m: m, w: w, ch: ch}
+}
+
+func (m *Manual) add(d, period time.Duration, fire func(time.Time)) *waiter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	w := &waiter{at: m.now.Add(d), seq: m.seq, fire: fire, period: period}
+	heap.Push(&m.waiters, w)
+	return w
+}
+
+// Advance moves the clock forward by d, firing every due waiter in
+// timestamp order. Waiters scheduled by fired callbacks that fall within
+// the window fire too.
+func (m *Manual) Advance(d time.Duration) {
+	m.AdvanceTo(m.Now().Add(d))
+}
+
+// AdvanceTo moves the clock to t (no-op if t is in the past).
+func (m *Manual) AdvanceTo(t time.Time) {
+	for {
+		m.mu.Lock()
+		if len(m.waiters) == 0 || m.waiters[0].at.After(t) {
+			if t.After(m.now) {
+				m.now = t
+			}
+			m.mu.Unlock()
+			return
+		}
+		w := heap.Pop(&m.waiters).(*waiter)
+		if w.stopped {
+			m.mu.Unlock()
+			continue
+		}
+		if w.at.After(m.now) {
+			m.now = w.at
+		}
+		now := m.now
+		if w.period > 0 {
+			m.seq++
+			w.at = w.at.Add(w.period)
+			w.seq = m.seq
+			heap.Push(&m.waiters, w)
+		} else {
+			w.stopped = true // fired; a later Stop must report false
+		}
+		m.mu.Unlock()
+		w.fire(now)
+	}
+}
+
+type manualTimer struct {
+	m *Manual
+	w *waiter
+}
+
+func (t manualTimer) Stop() bool {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	if t.w.stopped {
+		return false // already fired or already stopped
+	}
+	t.w.stopped = true
+	return true
+}
+
+type manualTicker struct {
+	m  *Manual
+	w  *waiter
+	ch chan time.Time
+}
+
+func (t *manualTicker) C() <-chan time.Time { return t.ch }
+
+func (t *manualTicker) Stop() {
+	t.m.mu.Lock()
+	defer t.m.mu.Unlock()
+	t.w.stopped = true
+}

@@ -1,0 +1,102 @@
+package vtime
+
+import "time"
+
+// Scaled is a Clock in which virtual time flows Speedup times faster than
+// real time. A Speedup of 200 replays the paper's one-hour PlanetLab
+// experiments in 18 real seconds while preserving the relative timing of
+// every event: a 30-second client timeout becomes 150 real milliseconds, a
+// 3-minute exchange interval becomes 0.9 real seconds, and so on.
+//
+// Virtual timestamps are anchored at the epoch passed to NewScaled so runs
+// are easy to read: Now() == epoch when the clock is created.
+type Scaled struct {
+	epoch   time.Time // virtual time at creation
+	started time.Time // real time at creation
+	speedup float64   // virtual seconds per real second
+}
+
+// NewScaled returns a clock whose virtual time starts at epoch and runs
+// speedup times faster than real time. speedup must be positive.
+func NewScaled(epoch time.Time, speedup float64) *Scaled {
+	if speedup <= 0 {
+		panic("vtime: speedup must be positive")
+	}
+	return &Scaled{epoch: epoch, started: time.Now(), speedup: speedup}
+}
+
+// Speedup reports the virtual-to-real time ratio.
+func (s *Scaled) Speedup() float64 { return s.speedup }
+
+// Now implements Clock.
+func (s *Scaled) Now() time.Time {
+	real := time.Since(s.started)
+	return s.epoch.Add(time.Duration(float64(real) * s.speedup))
+}
+
+// real converts a virtual duration to the real duration it occupies.
+func (s *Scaled) real(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration(float64(d) / s.speedup)
+}
+
+// Sleep implements Clock.
+func (s *Scaled) Sleep(d time.Duration) { time.Sleep(s.real(d)) }
+
+// After implements Clock.
+func (s *Scaled) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	time.AfterFunc(s.real(d), func() { ch <- s.Now() })
+	return ch
+}
+
+// AfterFunc implements Clock.
+func (s *Scaled) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(s.real(d), f)}
+}
+
+// NewTicker implements Clock.
+func (s *Scaled) NewTicker(d time.Duration) Ticker {
+	rt := time.NewTicker(s.real(d))
+	st := &scaledTicker{clock: s, real: rt, ch: make(chan time.Time, 1), done: make(chan struct{})}
+	go st.loop()
+	return st
+}
+
+// Since implements Clock.
+func (s *Scaled) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// scaledTicker relabels real ticks with virtual timestamps.
+type scaledTicker struct {
+	clock *Scaled
+	real  *time.Ticker
+	ch    chan time.Time
+	done  chan struct{}
+}
+
+func (t *scaledTicker) loop() {
+	for {
+		select {
+		case <-t.real.C:
+			select {
+			case t.ch <- t.clock.Now():
+			default: // receiver is slow; drop the tick like time.Ticker does
+			}
+		case <-t.done:
+			return
+		}
+	}
+}
+
+func (t *scaledTicker) C() <-chan time.Time { return t.ch }
+
+func (t *scaledTicker) Stop() {
+	t.real.Stop()
+	select {
+	case <-t.done:
+	default:
+		close(t.done)
+	}
+}

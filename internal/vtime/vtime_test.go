@@ -1,0 +1,250 @@
+package vtime
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC) // SC'05 week
+
+func TestManualNowAdvance(t *testing.T) {
+	c := NewManual(epoch)
+	if !c.Now().Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", c.Now(), epoch)
+	}
+	c.Advance(90 * time.Second)
+	if got, want := c.Now(), epoch.Add(90*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	if got := c.Since(epoch); got != 90*time.Second {
+		t.Fatalf("Since(epoch) = %v, want 90s", got)
+	}
+}
+
+func TestManualAdvanceToPastIsNoop(t *testing.T) {
+	c := NewManual(epoch)
+	c.Advance(time.Minute)
+	c.AdvanceTo(epoch) // in the past
+	if got, want := c.Now(), epoch.Add(time.Minute); !got.Equal(want) {
+		t.Fatalf("clock went backwards: %v, want %v", got, want)
+	}
+}
+
+func TestManualAfterFiresInOrder(t *testing.T) {
+	c := NewManual(epoch)
+	var order []int
+	var mu sync.Mutex
+	record := func(n int) func() {
+		return func() { mu.Lock(); order = append(order, n); mu.Unlock() }
+	}
+	c.AfterFunc(3*time.Second, record(3))
+	c.AfterFunc(1*time.Second, record(1))
+	c.AfterFunc(2*time.Second, record(2))
+	c.Advance(5 * time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("fire order = %v, want [1 2 3]", order)
+	}
+}
+
+func TestManualEqualDeadlinesFireInCreationOrder(t *testing.T) {
+	c := NewManual(epoch)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.AfterFunc(time.Second, func() { order = append(order, i) })
+	}
+	c.Advance(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestManualAfterDeliversTimestamp(t *testing.T) {
+	c := NewManual(epoch)
+	ch := c.After(10 * time.Second)
+	done := make(chan time.Time, 1)
+	go func() { done <- <-ch }()
+	c.Advance(time.Hour)
+	got := <-done
+	if want := epoch.Add(10 * time.Second); !got.Equal(want) {
+		t.Fatalf("After delivered %v, want %v", got, want)
+	}
+}
+
+func TestManualTimerStop(t *testing.T) {
+	c := NewManual(epoch)
+	var fired atomic.Bool
+	timer := c.AfterFunc(time.Second, func() { fired.Store(true) })
+	if !timer.Stop() {
+		t.Fatal("Stop() = false before firing, want true")
+	}
+	c.Advance(time.Minute)
+	if fired.Load() {
+		t.Fatal("stopped timer fired")
+	}
+	if timer.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+}
+
+func TestManualTimerStopAfterFire(t *testing.T) {
+	c := NewManual(epoch)
+	timer := c.AfterFunc(time.Second, func() {})
+	c.Advance(2 * time.Second)
+	if timer.Stop() {
+		t.Fatal("Stop() after firing = true, want false")
+	}
+}
+
+func TestManualTicker(t *testing.T) {
+	c := NewManual(epoch)
+	tick := c.NewTicker(time.Minute)
+	var n atomic.Int32
+	done := make(chan struct{})
+	go func() {
+		for range tick.C() {
+			n.Add(1)
+		}
+	}()
+	// Advance minute by minute so the (capacity-1) channel never drops.
+	for i := 0; i < 5; i++ {
+		c.Advance(time.Minute)
+		waitFor(t, func() bool { return n.Load() == int32(i+1) })
+	}
+	tick.Stop()
+	c.Advance(time.Hour)
+	if n.Load() != 5 {
+		t.Fatalf("ticks after Stop: got %d, want 5", n.Load())
+	}
+	close(done)
+}
+
+func TestManualSleepWakesOnAdvance(t *testing.T) {
+	c := NewManual(epoch)
+	done := make(chan struct{})
+	go func() {
+		c.Sleep(30 * time.Second)
+		close(done)
+	}()
+	waitForSleeper(c)
+	c.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestManualNestedSchedulingWithinAdvance(t *testing.T) {
+	c := NewManual(epoch)
+	var firedAt []time.Duration
+	c.AfterFunc(time.Second, func() {
+		firedAt = append(firedAt, c.Since(epoch))
+		c.AfterFunc(time.Second, func() {
+			firedAt = append(firedAt, c.Since(epoch))
+		})
+	})
+	c.Advance(10 * time.Second)
+	if len(firedAt) != 2 || firedAt[0] != time.Second || firedAt[1] != 2*time.Second {
+		t.Fatalf("firedAt = %v, want [1s 2s]", firedAt)
+	}
+}
+
+func TestScaledSpeedsUpTime(t *testing.T) {
+	c := NewScaled(epoch, 1000) // 1 virtual second per real millisecond
+	start := time.Now()
+	c.Sleep(2 * time.Second) // 2ms real
+	realElapsed := time.Since(start)
+	if realElapsed > 500*time.Millisecond {
+		t.Fatalf("scaled sleep of 2s virtual took %v real", realElapsed)
+	}
+	if got := c.Since(epoch); got < 2*time.Second {
+		t.Fatalf("virtual elapsed %v, want >= 2s", got)
+	}
+}
+
+func TestScaledAfterFunc(t *testing.T) {
+	c := NewScaled(epoch, 1000)
+	ch := make(chan struct{})
+	c.AfterFunc(time.Second, func() { close(ch) })
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("AfterFunc did not fire")
+	}
+}
+
+func TestScaledTicker(t *testing.T) {
+	c := NewScaled(epoch, 1000)
+	tk := c.NewTicker(10 * time.Millisecond * 1000 / 1000 * 100) // 1s virtual = 1ms real
+	defer tk.Stop()
+	select {
+	case <-tk.C():
+	case <-time.After(2 * time.Second):
+		t.Fatal("ticker never ticked")
+	}
+}
+
+func TestScaledPanicsOnNonPositiveSpeedup(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewScaled(epoch, 0)
+}
+
+func TestRealClockBasics(t *testing.T) {
+	c := NewReal()
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatal("Real.Now is wildly off")
+	}
+	fired := make(chan struct{})
+	tm := c.AfterFunc(time.Millisecond, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("real AfterFunc did not fire")
+	}
+	tm.Stop()
+	tk := c.NewTicker(time.Millisecond)
+	select {
+	case <-tk.C():
+	case <-time.After(time.Second):
+		t.Fatal("real ticker did not tick")
+	}
+	tk.Stop()
+}
+
+// waitFor polls cond for up to ~2s of real time.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never became true")
+}
+
+// waitForSleeper spins until the manual clock has at least one waiter.
+func waitForSleeper(c *Manual) {
+	for i := 0; i < 2000; i++ {
+		c.mu.Lock()
+		n := len(c.waiters)
+		c.mu.Unlock()
+		if n > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

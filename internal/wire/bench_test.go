@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"digruber/internal/vtime"
+)
+
+// BenchmarkRPCRoundTripMem measures the raw request/response path over
+// the in-memory transport with no emulated container cost — the floor
+// under every emulated interaction.
+func BenchmarkRPCRoundTripMem(b *testing.B) {
+	mem := NewMem()
+	srv := NewServer("bench-srv", Instant(), vtime.NewReal())
+	Handle(srv, "echo", func(r echoReq) (echoResp, error) { return echoResp(r), nil })
+	l, err := mem.Listen("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer func() { srv.Close(); l.Close() }()
+	cli := NewClient(ClientConfig{Node: "c", ServerNode: "s", Addr: "bench", Transport: mem, Clock: vtime.NewReal()})
+	defer cli.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Call[echoReq, echoResp](cli, "echo", echoReq{Msg: "x"}, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPCLargePayload measures a DI-GRUBER-query-sized (24 KiB)
+// response through the stack.
+func BenchmarkRPCLargePayload(b *testing.B) {
+	mem := NewMem()
+	srv := NewServer("bench-srv", Instant(), vtime.NewReal())
+	payload := make([]byte, 24<<10)
+	Handle(srv, "big", func(r echoReq) (struct{ Data []byte }, error) {
+		return struct{ Data []byte }{Data: payload}, nil
+	})
+	l, err := mem.Listen("bench-big")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer func() { srv.Close(); l.Close() }()
+	cli := NewClient(ClientConfig{Node: "c", ServerNode: "s", Addr: "bench-big", Transport: mem, Clock: vtime.NewReal()})
+	defer cli.Close()
+
+	b.SetBytes(24 << 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Call[echoReq, struct{ Data []byte }](cli, "big", echoReq{}, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPCRoundTripTCP measures the same floor over loopback TCP,
+// the cmd/ binaries' deployment mode.
+func BenchmarkRPCRoundTripTCP(b *testing.B) {
+	srv := NewServer("bench-srv", Instant(), vtime.NewReal())
+	Handle(srv, "echo", func(r echoReq) (echoResp, error) { return echoResp(r), nil })
+	l, err := TCP{}.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer func() { srv.Close(); l.Close() }()
+	cli := NewClient(ClientConfig{Node: "c", ServerNode: "s", Addr: l.Addr(), Transport: TCP{}, Clock: vtime.NewReal()})
+	defer cli.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Call[echoReq, echoResp](cli, "echo", echoReq{Msg: "x"}, time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package wire
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"digruber/internal/netsim"
+	"digruber/internal/vtime"
+)
+
+// Client is an RPC client bound to one server address. Every call pays
+// the emulated WAN propagation delay between the client's node and the
+// server's node in each direction, exactly as a GRUBER client on one
+// PlanetLab node querying a decision point on another would. Calls may be
+// issued concurrently; they multiplex over one connection.
+type Client struct {
+	node       string
+	serverNode string
+	addr       string
+	transport  Transport
+	network    *netsim.Network
+	clock      vtime.Clock
+
+	mu      sync.Mutex
+	conn    Conn
+	enc     *gob.Encoder
+	pending map[uint64]chan frame
+	nextID  uint64
+	closed  bool
+}
+
+// ClientConfig collects the wiring a Client needs.
+type ClientConfig struct {
+	// Node is the emulated node the client runs on.
+	Node string
+	// ServerNode is the emulated node the target server runs on (used
+	// for WAN delay sampling; may differ from the dial address).
+	ServerNode string
+	// Addr is the transport address to dial.
+	Addr      string
+	Transport Transport
+	Network   *netsim.Network
+	Clock     vtime.Clock
+}
+
+// NewClient returns a client; it dials lazily on first call.
+func NewClient(cfg ClientConfig) *Client {
+	return &Client{
+		node:       cfg.Node,
+		serverNode: cfg.ServerNode,
+		addr:       cfg.Addr,
+		transport:  cfg.Transport,
+		network:    cfg.Network,
+		clock:      cfg.Clock,
+		pending:    make(map[uint64]chan frame),
+	}
+}
+
+// Addr returns the server address the client dials.
+func (c *Client) Addr() string { return c.addr }
+
+// ensureConn dials if needed and returns the encoder. Caller must not
+// hold c.mu.
+func (c *Client) ensureConn() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := c.transport.Dial(c.addr)
+	if err != nil {
+		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	go c.readLoop(conn)
+	return nil
+}
+
+func (c *Client) readLoop(conn Conn) {
+	dec := gob.NewDecoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			c.dropConn(conn, err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[f.ID]
+		if ok {
+			delete(c.pending, f.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- f // buffered; never blocks
+		}
+	}
+}
+
+// dropConn tears down a dead connection and fails its pending calls.
+func (c *Client) dropConn(conn Conn, cause error) {
+	c.mu.Lock()
+	if c.conn != conn {
+		c.mu.Unlock()
+		return
+	}
+	c.conn = nil
+	c.enc = nil
+	orphans := c.pending
+	c.pending = make(map[uint64]chan frame)
+	c.mu.Unlock()
+	_ = conn.Close()
+	for _, ch := range orphans {
+		ch <- frame{Err: fmt.Sprintf("wire: connection lost: %v", cause)}
+	}
+}
+
+// Call performs one RPC with the given timeout. body is the gob-encoded
+// request; the returned bytes are the gob-encoded response. On timeout it
+// returns ErrTimeout — the caller's fallback logic (random site
+// selection) takes over from there.
+func (c *Client) Call(method string, body []byte, timeout time.Duration) ([]byte, error) {
+	start := c.clock.Now()
+	deadline := start.Add(timeout)
+
+	// Outbound WAN propagation.
+	if c.network != nil {
+		d := c.network.Delay(c.node, c.serverNode)
+		if d > 0 {
+			c.clock.Sleep(d)
+		}
+		if c.network.Lost() {
+			// The request vanished in the WAN; all the client observes is
+			// silence until its timeout.
+			c.sleepUntil(deadline)
+			return nil, ErrTimeout
+		}
+	}
+
+	if err := c.ensureConn(); err != nil {
+		return nil, err
+	}
+
+	ch := make(chan frame, 1)
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	enc := c.enc
+	conn := c.conn
+	c.mu.Unlock()
+
+	c.mu.Lock()
+	err := enc.Encode(frame{ID: id, Kind: frameRequest, Method: method, Body: body})
+	c.mu.Unlock()
+	if err != nil {
+		c.forget(id)
+		c.dropConn(conn, err)
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+
+	remaining := deadline.Sub(c.clock.Now())
+	if remaining <= 0 {
+		c.forget(id)
+		return nil, ErrTimeout
+	}
+	select {
+	case f := <-ch:
+		if f.Err != "" {
+			if f.Err == ErrOverloaded.Error() {
+				return nil, ErrOverloaded
+			}
+			return nil, errors.New(f.Err)
+		}
+		// Inbound WAN propagation.
+		if c.network != nil {
+			if c.network.Lost() {
+				c.sleepUntil(deadline)
+				return nil, ErrTimeout
+			}
+			d := c.network.Delay(c.serverNode, c.node)
+			if d > 0 {
+				c.clock.Sleep(d)
+			}
+		}
+		if c.clock.Now().After(deadline) {
+			return nil, ErrTimeout
+		}
+		return f.Body, nil
+	case <-c.clock.After(remaining):
+		c.forget(id)
+		return nil, ErrTimeout
+	}
+}
+
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+func (c *Client) sleepUntil(deadline time.Time) {
+	if d := deadline.Sub(c.clock.Now()); d > 0 {
+		c.clock.Sleep(d)
+	}
+}
+
+// Close tears the connection down; subsequent calls fail with ErrClosed.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.conn = nil
+	c.enc = nil
+	c.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// Call performs a typed RPC through c: req is gob-encoded, the response
+// is decoded into a Resp value.
+func Call[Req, Resp any](c *Client, method string, req Req, timeout time.Duration) (Resp, error) {
+	var resp Resp
+	body, err := encodeBody(req)
+	if err != nil {
+		return resp, err
+	}
+	respBody, err := c.Call(method, body, timeout)
+	if err != nil {
+		return resp, err
+	}
+	if err := decodeBody(respBody, &resp); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,264 @@
+package wire
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"digruber/internal/stats"
+	"digruber/internal/vtime"
+)
+
+// Handler processes one RPC: it receives the gob-encoded request body and
+// returns the gob-encoded response body. Use Handle to register typed
+// handlers without touching bytes.
+type Handler func(body []byte) ([]byte, error)
+
+// Server is an RPC server fronted by an emulated web-service container
+// (see StackProfile). Register handlers, then call Serve with a Listener.
+type Server struct {
+	node    string // node name, for WAN delay bookkeeping and reports
+	profile StackProfile
+	clock   vtime.Clock
+
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	closed   bool
+	conns    map[*serverConn]struct{}
+
+	work    chan job
+	wg      sync.WaitGroup
+	closeCh chan struct{}
+
+	// counters
+	received  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	shed      atomic.Int64
+	inflight  atomic.Int64
+
+	statMu  sync.Mutex
+	service stats.Online // observed service times, seconds
+}
+
+type job struct {
+	conn *serverConn
+	f    frame
+}
+
+// NewServer returns a server for the given emulated node name, container
+// profile and clock.
+func NewServer(node string, profile StackProfile, clock vtime.Clock) *Server {
+	s := &Server{
+		node:     node,
+		profile:  profile,
+		clock:    clock,
+		handlers: make(map[string]Handler),
+		conns:    make(map[*serverConn]struct{}),
+		work:     make(chan job, profile.queueLimit()),
+		closeCh:  make(chan struct{}),
+	}
+	for i := 0; i < profile.workers(); i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Node returns the server's emulated node name.
+func (s *Server) Node() string { return s.node }
+
+// Profile returns the container profile the server runs under.
+func (s *Server) Profile() StackProfile { return s.profile }
+
+// Register installs a raw handler for a method name. Registering after
+// Serve has started is allowed.
+func (s *Server) Register(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[method] = h
+}
+
+// Handle registers a typed handler: the request body is decoded into Req,
+// and the returned Resp is encoded as the response body.
+func Handle[Req, Resp any](s *Server, method string, fn func(Req) (Resp, error)) {
+	s.Register(method, func(body []byte) ([]byte, error) {
+		var req Req
+		if err := decodeBody(body, &req); err != nil {
+			return nil, err
+		}
+		resp, err := fn(req)
+		if err != nil {
+			return nil, err
+		}
+		return encodeBody(resp)
+	})
+}
+
+// Serve accepts connections from l until the listener or server closes.
+// It blocks; run it in a goroutine.
+func (s *Server) Serve(l Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.closeCh:
+				return nil
+			default:
+				return err
+			}
+		}
+		go s.serveConn(conn)
+	}
+}
+
+type serverConn struct {
+	raw Conn
+	enc *gob.Encoder
+	wmu sync.Mutex
+}
+
+func (c *serverConn) send(f frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.enc.Encode(f)
+}
+
+func (s *Server) serveConn(raw Conn) {
+	conn := &serverConn{raw: raw, enc: gob.NewEncoder(raw)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		raw.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	dec := gob.NewDecoder(raw)
+	defer func() {
+		raw.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		if f.Kind != frameRequest {
+			continue
+		}
+		s.received.Add(1)
+		select {
+		case s.work <- job{conn: conn, f: f}:
+		default:
+			// Accept queue full: shed load, as a saturated container
+			// effectively does once its thread and backlog limits are hit.
+			s.shed.Add(1)
+			_ = conn.send(frame{ID: f.ID, Kind: frameResponse, Err: ErrOverloaded.Error()})
+		}
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.work:
+			s.process(j)
+		case <-s.closeCh:
+			return
+		}
+	}
+}
+
+func (s *Server) process(j job) {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	s.mu.RLock()
+	h, ok := s.handlers[j.f.Method]
+	s.mu.RUnlock()
+
+	var respBody []byte
+	var errStr string
+	if !ok {
+		errStr = fmt.Sprintf("wire: unknown method %q", j.f.Method)
+	} else {
+		body, err := h(j.f.Body)
+		if err != nil {
+			errStr = err.Error()
+		} else {
+			respBody = body
+		}
+	}
+
+	// The container occupies a worker for the emulated service time of
+	// the full payload (request plus response), which is where GT3/GT4
+	// auth+SOAP cost shows up.
+	st := s.profile.ServiceTime(len(j.f.Body) + len(respBody))
+	if st > 0 {
+		s.clock.Sleep(st)
+	}
+	s.statMu.Lock()
+	s.service.Add(st.Seconds())
+	s.statMu.Unlock()
+
+	if errStr != "" {
+		s.failed.Add(1)
+	} else {
+		s.completed.Add(1)
+	}
+	_ = j.conn.send(frame{ID: j.f.ID, Kind: frameResponse, Body: respBody, Err: errStr})
+}
+
+// Close stops the workers and severs every active connection, as a
+// container shutdown would. In-flight requests finish into the void.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*serverConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	close(s.closeCh)
+	for _, c := range conns {
+		_ = c.raw.Close()
+	}
+}
+
+// Stats is a snapshot of server-side load counters, the raw material for
+// the saturation detector of Section 5.
+type Stats struct {
+	Received  int64
+	Completed int64
+	Failed    int64
+	Shed      int64
+	InFlight  int64
+	Queued    int
+	// ServiceMean is the mean emulated service time in seconds.
+	ServiceMean float64
+}
+
+// Stats returns a consistent-enough snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	s.statMu.Lock()
+	mean := s.service.Mean()
+	s.statMu.Unlock()
+	return Stats{
+		Received:    s.received.Load(),
+		Completed:   s.completed.Load(),
+		Failed:      s.failed.Load(),
+		Shed:        s.shed.Load(),
+		InFlight:    s.inflight.Load(),
+		Queued:      len(s.work),
+		ServiceMean: mean,
+	}
+}

@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn is a bidirectional byte stream between a client and a server.
+type Conn = io.ReadWriteCloser
+
+// Listener accepts inbound connections for a server.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	// Addr is the address clients dial to reach this listener.
+	Addr() string
+}
+
+// Transport creates listeners and dials them. Two implementations exist:
+// TCP (real sockets, used by the cmd/ binaries) and Mem (in-process
+// net.Pipe pairs, used by experiments and tests — thousands of emulated
+// WAN connections without touching the host network stack).
+type Transport interface {
+	// Listen binds a listener. For TCP, addr may be "host:0" to pick a
+	// free port; the effective address is Listener.Addr.
+	Listen(addr string) (Listener, error)
+	// Dial connects to a listener's address.
+	Dial(addr string) (Conn, error)
+}
+
+// TCP is a Transport over real TCP sockets.
+type TCP struct{}
+
+// Listen implements Transport.
+func (TCP) Listen(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return tcpListener{l}, nil
+}
+
+// Dial implements Transport.
+func (TCP) Dial(addr string) (Conn, error) { return net.Dial("tcp", addr) }
+
+type tcpListener struct{ l net.Listener }
+
+func (t tcpListener) Accept() (Conn, error) { return t.l.Accept() }
+func (t tcpListener) Close() error          { return t.l.Close() }
+func (t tcpListener) Addr() string          { return t.l.Addr().String() }
+
+// Mem is an in-process Transport. Addresses are arbitrary strings scoped
+// to one Mem instance. The zero value is not usable; call NewMem.
+type Mem struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+// NewMem returns an empty in-process transport.
+func NewMem() *Mem { return &Mem{listeners: make(map[string]*memListener)} }
+
+// Listen implements Transport.
+func (m *Mem) Listen(addr string) (Listener, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if addr == "" {
+		return nil, errors.New("wire: mem listener needs a non-empty address")
+	}
+	if _, exists := m.listeners[addr]; exists {
+		return nil, fmt.Errorf("wire: address %q already bound", addr)
+	}
+	l := &memListener{mem: m, addr: addr, conns: make(chan Conn), done: make(chan struct{})}
+	m.listeners[addr] = l
+	return l, nil
+}
+
+// Dial implements Transport.
+func (m *Mem) Dial(addr string) (Conn, error) {
+	m.mu.Lock()
+	l, ok := m.listeners[addr]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("wire: no listener at %q", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.conns <- server:
+		return client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("wire: listener at %q closed", addr)
+	}
+}
+
+type memListener struct {
+	mem   *Mem
+	addr  string
+	conns chan Conn
+	done  chan struct{}
+	once  sync.Once
+}
+
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		return nil, ErrClosed
+	}
+}
+
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.mem.mu.Lock()
+		delete(l.mem.listeners, l.addr)
+		l.mem.mu.Unlock()
+	})
+	return nil
+}
+
+func (l *memListener) Addr() string { return l.addr }

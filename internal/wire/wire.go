@@ -1,0 +1,69 @@
+// Package wire is the reproduction's stand-in for the Globus Toolkit web
+// service stacks (GT3 and the GT4 prerelease) that DI-GRUBER was deployed
+// on. It provides a small RPC system — length-delimited gob frames over
+// either real TCP connections or in-process pipes — plus two pieces of
+// deliberate emulation:
+//
+//   - a netsim-driven WAN delay on every message, standing in for
+//     PlanetLab's wide-area links, and
+//   - a StackProfile on the server standing in for the toolkit's
+//     per-request costs (GSI authentication, SOAP processing, container
+//     dispatch) and its limited request-processing concurrency. The paper
+//     identifies exactly these as the factors limiting performance.
+//
+// Everything above this package (GRUBER engines, decision points, DiPerF
+// testers) talks through Client.Call / Server handlers and never sees the
+// emulation.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+)
+
+// Errors surfaced by calls.
+var (
+	// ErrTimeout reports that the per-call deadline expired before a
+	// response arrived. DI-GRUBER clients react by falling back to random
+	// site selection.
+	ErrTimeout = errors.New("wire: call timed out")
+	// ErrOverloaded reports that the server shed the request because its
+	// accept queue was full.
+	ErrOverloaded = errors.New("wire: server overloaded")
+	// ErrClosed reports use of a closed client or server.
+	ErrClosed = errors.New("wire: closed")
+)
+
+// frame is the single on-the-wire message type; Kind discriminates
+// requests from responses.
+type frame struct {
+	ID     uint64
+	Kind   byte // frameRequest or frameResponse
+	Method string
+	Body   []byte
+	Err    string
+}
+
+const (
+	frameRequest byte = iota + 1
+	frameResponse
+)
+
+// encodeBody gob-encodes an RPC argument or reply value.
+func encodeBody(v interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("wire: encode body: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeBody gob-decodes an RPC argument or reply value into v.
+func decodeBody(data []byte, v interface{}) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("wire: decode body: %w", err)
+	}
+	return nil
+}

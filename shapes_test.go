@@ -1,0 +1,59 @@
+package digruber_test
+
+import (
+	"testing"
+
+	"digruber/internal/exp"
+	"digruber/internal/wire"
+)
+
+// TestHeadlineShapesLive asserts the paper's central qualitative claims
+// on the live emulation (not the simulator): adding decision points
+// raises delivered throughput and lowers response time, and the
+// saturated single point leaves a larger unhandled tail. Run at bench
+// scale; skipped under -short.
+func TestHeadlineShapesLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two bench-scale emulations (~12s)")
+	}
+	run := func(dps int) exp.ScenarioResult {
+		res, err := exp.RunScenario(exp.ScenarioConfig{
+			Name:        "shapes",
+			Scale:       exp.BenchScale(),
+			Profile:     wire.GT3(),
+			DPs:         dps,
+			ExecuteJobs: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := run(1)
+	three := run(3)
+
+	if !(three.DiPerF.PeakThroughput > 1.5*one.DiPerF.PeakThroughput) {
+		t.Errorf("3-DP peak throughput %.2f q/s not >1.5x 1-DP %.2f q/s",
+			three.DiPerF.PeakThroughput, one.DiPerF.PeakThroughput)
+	}
+	if !(three.DiPerF.ResponseSummary.Mean < one.DiPerF.ResponseSummary.Mean) {
+		t.Errorf("3-DP mean response %.2fs not below 1-DP %.2fs",
+			three.DiPerF.ResponseSummary.Mean, one.DiPerF.ResponseSummary.Mean)
+	}
+	handledFrac := func(r exp.ScenarioResult) float64 {
+		if r.DiPerF.Ops == 0 {
+			return 0
+		}
+		return float64(r.DiPerF.Handled) / float64(r.DiPerF.Ops)
+	}
+	// At bench scale both deployments handle nearly everything; require
+	// only that distribution doesn't materially hurt the handled rate.
+	if handledFrac(three) < handledFrac(one)-0.02 {
+		t.Errorf("3 DPs handled a materially smaller fraction (%.3f) than 1 DP (%.3f)",
+			handledFrac(three), handledFrac(one))
+	}
+	// Broker-guided placements beat the degraded tiers on accuracy.
+	if one.HandledAccuracy <= 0 || one.HandledAccuracy > 1 {
+		t.Errorf("degenerate handled accuracy %v", one.HandledAccuracy)
+	}
+}
