@@ -65,12 +65,13 @@ func main() {
 		}
 	}
 
+	clock := vtime.NewReal()
 	dp, err := digruber.New(digruber.Config{
 		Name:             *name,
 		Node:             *name,
 		Addr:             *listen,
 		Transport:        wire.TCP{},
-		Clock:            vtime.NewReal(),
+		Clock:            clock,
 		Profile:          profileByName(*profile),
 		Policies:         policies,
 		ExchangeInterval: *exchange,
@@ -81,7 +82,7 @@ func main() {
 	if *sites != "" {
 		statuses, err := loadSites(*sites)
 		fatalIf(err)
-		dp.Engine().UpdateSites(statuses, time.Now())
+		dp.Engine().UpdateSites(statuses, clock.Now())
 		fmt.Printf("%s: loaded %d sites\n", *name, len(statuses))
 	}
 	for _, p := range peers {
@@ -98,7 +99,9 @@ func main() {
 
 	if *status > 0 {
 		go func() {
-			for range time.Tick(*status) {
+			tk := clock.NewTicker(*status)
+			defer tk.Stop()
+			for range tk.C() {
 				st := dp.Status()
 				fmt.Printf("%s: queries=%d dispatches=%d/%d recv=%d shed=%d queued=%d rate=%.2f/s saturated=%v\n",
 					st.Name, st.Queries, st.LocalDispatches, st.RemoteDispatches,

@@ -1,0 +1,164 @@
+// Command digruber-lint runs the determinism lint suite over the repo:
+// custom analyzers enforcing the simulation invariants that make the
+// paper-shape experiments replayable (virtual clocks, seeded RNG
+// streams, error returns in libraries, no RPC under a held lock).
+//
+// Direct mode, from the module root:
+//
+//	go run ./cmd/digruber-lint ./...
+//	go run ./cmd/digruber-lint -analyzers wallclock,nopanic ./internal/...
+//
+// Vet-tool mode (the go vet driver invokes the binary once per package
+// with a JSON config file):
+//
+//	go build -o /tmp/digruber-lint ./cmd/digruber-lint
+//	go vet -vettool=/tmp/digruber-lint ./...
+//
+// Exit status is 0 when the tree is clean, 1 when violations are found,
+// 2 on usage or load errors. Intentional sites are annotated in the
+// source with "//lint:allow <analyzer> -- reason".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"digruber/internal/lint"
+)
+
+func main() {
+	// The go vet driver probes its tool with -V=full (a version line it
+	// hashes into the build cache key) and -flags (a JSON description of
+	// tool flags; this suite exposes none to the driver), then invokes
+	// it once per package with a *.cfg JSON file.
+	for _, arg := range os.Args[1:] {
+		switch {
+		case strings.HasPrefix(arg, "-V"):
+			fmt.Println("digruber-lint version 1")
+			return
+		case arg == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(arg, ".cfg"):
+			os.Exit(runVetTool(arg))
+		}
+	}
+
+	var (
+		list      = flag.Bool("list", false, "list analyzers and exit")
+		analyzers = flag.String("analyzers", "", "comma-separated subset to run (default: all)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: digruber-lint [-list] [-analyzers a,b] [packages]\n\n"+
+				"Packages default to ./... relative to the enclosing module root.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	suite, err := lint.ByName(*analyzers)
+	if err != nil {
+		fatal(err)
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := lint.Run(pkgs, suite)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(rel(root, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "digruber-lint: %d violation(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// rel shortens the diagnostic's path relative to root for readability.
+func rel(root string, d lint.Diagnostic) string {
+	if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		d.Pos.Filename = r
+	}
+	return d.String()
+}
+
+// vetConfig is the subset of the go vet driver's per-package JSON config
+// this tool needs (the same file golang.org/x/tools' unitchecker reads).
+type vetConfig struct {
+	ID         string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+// runVetTool analyzes one package as directed by the vet driver. The
+// driver expects the facts file named by VetxOutput to exist afterwards
+// (this suite exports no facts, so it is written empty), diagnostics on
+// stderr, and a non-zero exit when violations are found.
+func runVetTool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "digruber-lint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "digruber-lint: parse %s: %v\n", cfgPath, err)
+		return 2
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "digruber-lint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	pkg, err := lint.LoadVetPackage(cfg.Dir, cfg.ImportPath, cfg.GoFiles)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "digruber-lint:", err)
+		return 2
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "digruber-lint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "digruber-lint:", err)
+	os.Exit(2)
+}

@@ -21,10 +21,14 @@ import (
 	"digruber/internal/wire"
 )
 
+// epoch anchors virtual time at a fixed instant so repeated runs print
+// identical timestamps.
+var epoch = time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+
 func main() {
 	// ---------- part 1: live saturation detection ----------
 	fmt.Println("part 1: live overload of a single GT3 decision point")
-	clock := vtime.NewScaled(time.Now(), 120)
+	clock := vtime.NewScaled(epoch, 120)
 	network := netsim.New(3, netsim.PlanetLab())
 	mem := wire.NewMem()
 
@@ -80,7 +84,7 @@ func main() {
 	}
 
 	for i := 0; i < 10; i++ {
-		time.Sleep(300 * time.Millisecond) // ≈36 virtual seconds
+		clock.Sleep(36 * time.Second) // ≈300 real milliseconds at speedup 120
 		replies := overseer.Poll()
 		st := replies[0]
 		fmt.Printf("  t+%2ds: rate=%5.2f req/s capacity=%5.2f queued=%3d saturated=%v\n",

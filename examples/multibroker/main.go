@@ -23,8 +23,12 @@ import (
 	"digruber/internal/wire"
 )
 
+// epoch anchors virtual time at a fixed instant (the SC2005 timeframe of
+// the paper) so repeated runs print identical timestamps.
+var epoch = time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+
 func main() {
-	clock := vtime.NewScaled(time.Now(), 120)
+	clock := vtime.NewScaled(epoch, 120)
 	network := netsim.New(42, netsim.PlanetLab())
 	mem := wire.NewMem()
 
@@ -123,7 +127,7 @@ func main() {
 	// Wait for an exchange round (30 virtual seconds, plus slack for
 	// WAN latency and the tick).
 	fmt.Println("\n... waiting for a state-exchange round ...")
-	waitForExchange(dps)
+	waitForExchange(clock, dps)
 
 	fmt.Println("\nfree-CPU estimates AFTER exchange (flooded dispatch records merged):")
 	printViews(dps, g, truth)
@@ -146,9 +150,11 @@ func printViews(dps []*digruber.DecisionPoint, g *grid.Grid, truth int) {
 	}
 }
 
-func waitForExchange(dps []*digruber.DecisionPoint) {
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
+// waitForExchange polls on the virtual clock: at speedup 120 the
+// 20-virtual-minute deadline bounds the wait to ~10 real seconds.
+func waitForExchange(clock vtime.Clock, dps []*digruber.DecisionPoint) {
+	deadline := clock.Now().Add(20 * time.Minute)
+	for clock.Now().Before(deadline) {
 		done := true
 		for _, dp := range dps {
 			// Each broker should learn most of the ~40 dispatches the
@@ -160,6 +166,6 @@ func waitForExchange(dps []*digruber.DecisionPoint) {
 		if done {
 			return
 		}
-		time.Sleep(50 * time.Millisecond)
+		clock.Sleep(6 * time.Second)
 	}
 }

@@ -29,8 +29,12 @@ import (
 	"digruber/internal/wire"
 )
 
+// epoch anchors virtual time at a fixed instant so repeated runs print
+// identical timestamps.
+var epoch = time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+
 func main() {
-	clock := vtime.NewScaled(time.Now(), 240)
+	clock := vtime.NewScaled(epoch, 240)
 	network := netsim.New(7, netsim.PlanetLab())
 	mem := wire.NewMem()
 

@@ -20,9 +20,13 @@ import (
 	"digruber/internal/wire"
 )
 
+// epoch anchors virtual time at a fixed instant so repeated runs print
+// identical timestamps.
+var epoch = time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+
 func main() {
 	// Compress time 60×: a 10-minute job takes 10 real seconds.
-	clock := vtime.NewScaled(time.Now(), 60)
+	clock := vtime.NewScaled(epoch, 60)
 
 	// --- a small grid: three sites, 56 CPUs ---
 	g := grid.New(clock)

@@ -18,8 +18,12 @@ import (
 	"digruber/internal/wire"
 )
 
+// epoch anchors virtual time at a fixed instant so repeated runs print
+// identical timestamps.
+var epoch = time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+
 func main() {
-	clock := vtime.NewScaled(time.Now(), 60)
+	clock := vtime.NewScaled(epoch, 60)
 	mem := wire.NewMem()
 
 	// --- grid and broker, with no USLAs yet ---

@@ -86,9 +86,11 @@ type DecisionPoint struct {
 }
 
 type peerLink struct {
-	name     string
-	client   *wire.Client
-	lastSent time.Time
+	name   string
+	client *wire.Client
+	// lastSent is the highest engine sequence number this peer has
+	// acknowledged; the next round resends everything after it.
+	lastSent uint64
 }
 
 // New builds a decision point (not yet listening).
@@ -325,12 +327,17 @@ func (dp *DecisionPoint) ExchangeNow() int {
 	if strategy == NoExchange {
 		return 0
 	}
-	now := dp.cfg.Clock.Now()
 	sent := 0
 	var wg sync.WaitGroup
 	for _, link := range links {
 		link := link
-		batch := dp.engine.LocalDispatchesSince(link.lastSent)
+		dp.mu.Lock()
+		cursor := link.lastSent
+		dp.mu.Unlock()
+		// The engine assigns sequence numbers under its own lock, so the
+		// (batch, hi) pair is exact: acknowledging hi never skips a
+		// record whose append lost a race with this read.
+		batch, hi := dp.engine.LocalDispatchesAfter(cursor)
 		args := ExchangeArgs{From: dp.cfg.Name, Dispatches: batch}
 		if strategy == UsageAndUSLAs {
 			args.USLAs = dp.cfg.Policies.Entries()
@@ -340,7 +347,9 @@ func (dp *DecisionPoint) ExchangeNow() int {
 			defer wg.Done()
 			if _, err := wire.Call[ExchangeArgs, ExchangeReply](link.client, MethodExchange, args, timeout); err == nil {
 				dp.mu.Lock()
-				link.lastSent = now
+				if hi > link.lastSent {
+					link.lastSent = hi
+				}
 				dp.mu.Unlock()
 			}
 			// On failure the batch is retransmitted next round; the
@@ -352,18 +361,17 @@ func (dp *DecisionPoint) ExchangeNow() int {
 	dp.mu.Lock()
 	dp.rounds++
 	dp.sentRecs += sent
-	dp.mu.Unlock()
-	// Bound the local log: nothing older than two intervals is ever
-	// needed again once every peer has acknowledged.
-	oldest := now
-	dp.mu.Lock()
+	// Bound the local log: records every peer has acknowledged are never
+	// needed again. With no peers at all, nobody will ever ask, so the
+	// whole log can go.
+	oldest := ^uint64(0)
 	for _, l := range dp.peers {
-		if l.lastSent.Before(oldest) {
+		if l.lastSent < oldest {
 			oldest = l.lastSent
 		}
 	}
 	dp.mu.Unlock()
-	dp.engine.CompactLocalLog(oldest.Add(-dp.cfg.ExchangeInterval))
+	dp.engine.CompactLocalBefore(oldest)
 	return sent
 }
 

@@ -2,6 +2,8 @@ package digruber
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -343,6 +345,128 @@ func TestDoubleStartRejected(t *testing.T) {
 	h := newHarness(t, 1, clock, testStatuses(10))
 	if err := h.dps[0].Start(); err == nil {
 		t.Fatal("second Start succeeded")
+	}
+}
+
+// TestConcurrentQueriesAndExchanges hammers one decision point from every
+// direction at once — client scheduling, inbound state exchanges from a
+// peer, outbound exchanges, status RPCs, and site-baseline refreshes — so
+// `go test -race` can observe the full lock surface of the DP under
+// contention. The paper's mesh relies on a DP serving queries while
+// exchange traffic arrives; this is the smallest harness with that shape.
+func TestConcurrentQueriesAndExchanges(t *testing.T) {
+	clock := vtime.NewReal()
+	h := newHarness(t, 2, clock, testStatuses(400, 400, 400))
+
+	const (
+		clients     = 4
+		jobsPerC    = 25
+		exchRounds  = 40
+		statusPolls = 60
+		siteUpdates = 30
+	)
+
+	// dp-1's client gives the peer local dispatches to flood at dp-0.
+	peerClient := h.client(100, 1, nil)
+	for i := 0; i < 10; i++ {
+		if dec := peerClient.Schedule(testJob(fmt.Sprintf("peer-j%d", i))); dec.Err != nil {
+			t.Fatal(dec.Err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var scheduled atomic.Int64
+	errs := make(chan error, clients*jobsPerC)
+
+	// Client goroutines: concurrent queries + dispatch reports into dp-0.
+	for c := 0; c < clients; c++ {
+		cli := h.client(c, 0, nil)
+		wg.Add(1)
+		go func(c int, cli *Client) {
+			defer wg.Done()
+			for i := 0; i < jobsPerC; i++ {
+				dec := cli.Schedule(testJob(fmt.Sprintf("c%d-j%d", c, i)))
+				if dec.Err != nil {
+					errs <- dec.Err
+					return
+				}
+				scheduled.Add(1)
+			}
+		}(c, cli)
+	}
+
+	// Inbound exchanges: dp-1 pushes its state at dp-0 mid-query.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < exchRounds; i++ {
+			h.dps[1].ExchangeNow()
+		}
+	}()
+
+	// Outbound exchanges: dp-0 floods its own dispatch records.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < exchRounds; i++ {
+			h.dps[0].ExchangeNow()
+		}
+	}()
+
+	// Status readers: the observability path shares the DP's counters.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < statusPolls; i++ {
+			st := h.dps[0].Status()
+			if st.Name != "dp-0" {
+				errs <- fmt.Errorf("status name = %q", st.Name)
+				return
+			}
+		}
+	}()
+
+	// Baseline refreshes: the monitoring feed rewrites site state while
+	// the scheduler reads it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < siteUpdates; i++ {
+			h.dps[0].Engine().UpdateSites(testStatuses(400, 400, 400), clock.Now())
+			for _, s := range []string{"site-000", "site-001", "site-002"} {
+				h.dps[0].Engine().EstFreeCPUs(s)
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if got := scheduled.Load(); got != clients*jobsPerC {
+		t.Fatalf("scheduled %d jobs, want %d", got, clients*jobsPerC)
+	}
+	st := h.dps[0].Status()
+	if st.Queries < clients*jobsPerC {
+		t.Fatalf("dp-0 queries = %d, want >= %d", st.Queries, clients*jobsPerC)
+	}
+	if st.LocalDispatches != clients*jobsPerC {
+		t.Fatalf("dp-0 local dispatches = %d, want %d", st.LocalDispatches, clients*jobsPerC)
+	}
+	// A final settle round each way: both DPs must agree on totals.
+	h.dps[0].ExchangeNow()
+	h.dps[1].ExchangeNow()
+	s0, s1 := h.dps[0].Engine().Stats(), h.dps[1].Engine().Stats()
+	if s1.RemoteDispatches != clients*jobsPerC {
+		t.Fatalf("dp-1 remote dispatches = %d, want %d", s1.RemoteDispatches, clients*jobsPerC)
+	}
+	if s0.RemoteDispatches != 10 {
+		t.Fatalf("dp-0 remote dispatches = %d, want 10 (peer's jobs)", s0.RemoteDispatches)
 	}
 }
 

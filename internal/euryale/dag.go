@@ -164,11 +164,18 @@ func (p *Planner) RunDAG(d *DAG, parallelism int) (map[string]Result, error) {
 		scheduleChildren(id, err == nil)
 	}
 
+	// Collect the roots before spawning anything: the first goroutine can
+	// reach scheduleChildren and mutate remainingParents while this loop
+	// is still reading it.
+	var roots []string
 	for _, id := range topo {
 		if remainingParents[id] == 0 {
-			wg.Add(1)
-			go run(id)
+			roots = append(roots, id)
 		}
+	}
+	for _, id := range roots {
+		wg.Add(1)
+		go run(id)
 	}
 	wg.Wait()
 

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"digruber/internal/diperf"
@@ -47,10 +48,9 @@ func RunFig1(cfg Fig1Config) (diperf.Result, error) {
 	mem := wire.NewMem()
 
 	server := wire.NewServer("gt3-host", cfg.Profile, clock)
-	count := 0
+	var count atomic.Int64 // handler runs on every server worker
 	wire.Handle(server, "CreateInstance", func(r instanceReq) (instanceResp, error) {
-		count++
-		return instanceResp{Handle: fmt.Sprintf("%s-instance-%d", r.Service, count)}, nil
+		return instanceResp{Handle: fmt.Sprintf("%s-instance-%d", r.Service, count.Add(1))}, nil
 	})
 	l, err := mem.Listen("fig1/gt3")
 	if err != nil {

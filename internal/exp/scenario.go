@@ -159,7 +159,10 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	siteNames := g.SiteNames()
 
 	// --- workload ---
-	wl := newScenarioWorkload(cfg)
+	wl, err := newScenarioWorkload(cfg)
+	if err != nil {
+		return ScenarioResult{}, err
+	}
 	policies := wl.policies
 
 	// --- decision points (full mesh or star) ---
@@ -253,7 +256,10 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		traceMu.Lock()
 		trace = append(trace, grubsim.Arrival{At: clock.Since(Epoch), Client: t})
 		traceMu.Unlock()
-		job := wl.nextJob(t)
+		job, err := wl.nextJob(t)
+		if err != nil {
+			return diperf.OpResult{Err: err}
+		}
 		dec := clients[t].Schedule(job)
 		if dec.Err != nil {
 			return diperf.OpResult{Handled: dec.Handled, Err: dec.Err}
@@ -336,7 +342,11 @@ func schedulingAccuracy(g *grid.Grid, site string) float64 {
 	return float64(g.FreeCPUsAt(site)) / float64(best)
 }
 
-// waitWithTimeout waits for wg up to a real-time bound.
+// waitWithTimeout waits for wg up to a real-time bound. The bound is
+// deliberately wall-clock: it caps how long the harness itself may
+// stall on the log-normal runtime tail, independent of any virtual
+// clock's speedup, and it affects only when measurement stops — never
+// the simulated timeline the results are drawn from.
 func waitWithTimeout(wg *sync.WaitGroup, d time.Duration) {
 	done := make(chan struct{})
 	go func() {
@@ -345,7 +355,7 @@ func waitWithTimeout(wg *sync.WaitGroup, d time.Duration) {
 	}()
 	select {
 	case <-done:
-	case <-time.After(d):
+	case <-time.After(d): //lint:allow wallclock -- real-time bound on harness wall time, not simulated time
 	}
 }
 

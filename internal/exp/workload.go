@@ -14,7 +14,7 @@ type scenarioWorkload struct {
 	policies *usla.PolicySet
 }
 
-func newScenarioWorkload(cfg ScenarioConfig) *scenarioWorkload {
+func newScenarioWorkload(cfg ScenarioConfig) (*scenarioWorkload, error) {
 	wcfg := workload.Default()
 	wcfg.Seed = cfg.Seed
 	wcfg.Hosts = cfg.Clients
@@ -27,15 +27,19 @@ func newScenarioWorkload(cfg ScenarioConfig) *scenarioWorkload {
 	if cfg.JobCPUs > 0 {
 		wcfg.JobCPUs = cfg.JobCPUs
 	}
+	policies, err := workload.Policies(wcfg)
+	if err != nil {
+		return nil, err
+	}
 	return &scenarioWorkload{
 		gen:      workload.NewGenerator(wcfg),
-		policies: workload.Policies(wcfg),
-	}
+		policies: policies,
+	}, nil
 }
 
 // nextJob draws host t's next job. Each host owns an independent RNG
 // stream, and DiPerF issues a tester's operations sequentially, so
 // concurrent calls for distinct testers are safe.
-func (w *scenarioWorkload) nextJob(t int) *grid.Job {
+func (w *scenarioWorkload) nextJob(t int) (*grid.Job, error) {
 	return w.gen.NextJob(t)
 }

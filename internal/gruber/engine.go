@@ -75,7 +75,10 @@ type Engine struct {
 	order    []string
 	seen     map[string]time.Time // JobID → expiry, for exchange dedup
 	local    []Dispatch           // dispatches brokered here, for exchange
-	stats    EngineStats
+	// localDropped counts records compacted off the front of local, so
+	// record i of local carries exchange sequence number localDropped+i+1.
+	localDropped uint64
+	stats        EngineStats
 }
 
 // EngineStats counts engine activity.
@@ -297,27 +300,44 @@ func (e *Engine) markSeenLocked(d Dispatch) bool {
 	return true
 }
 
-// LocalDispatchesSince returns this engine's own dispatches with At after
-// since — the payload of one periodic exchange round.
-func (e *Engine) LocalDispatchesSince(since time.Time) []Dispatch {
+// LocalDispatchesAfter returns this engine's own dispatches recorded
+// after the given sequence cursor, plus the cursor covering everything
+// returned — the payload of one exchange round. Sequence numbers are
+// assigned under the engine lock at append time, so the cursor cannot
+// skip a record whose timestamp was stamped early but whose append lost
+// a race (which a wall-clock cursor does).
+func (e *Engine) LocalDispatchesAfter(cursor uint64) ([]Dispatch, uint64) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	// The log is append-only in time order; binary search the cut point.
-	i := sort.Search(len(e.local), func(i int) bool { return e.local[i].At.After(since) })
-	out := make([]Dispatch, len(e.local)-i)
-	copy(out, e.local[i:])
-	return out
+	// Record i of e.local carries sequence number e.localDropped+i+1.
+	start := uint64(0)
+	if cursor > e.localDropped {
+		start = cursor - e.localDropped
+	}
+	if start > uint64(len(e.local)) {
+		start = uint64(len(e.local))
+	}
+	out := make([]Dispatch, uint64(len(e.local))-start)
+	copy(out, e.local[start:])
+	return out, e.localDropped + uint64(len(e.local))
 }
 
-// CompactLocalLog drops local dispatch records older than keep, bounding
-// memory across long runs.
-func (e *Engine) CompactLocalLog(olderThan time.Time) {
+// CompactLocalBefore drops local dispatch records with sequence numbers
+// at or below cursor, bounding memory across long runs. Callers pass the
+// lowest cursor acknowledged by any peer: those records are never needed
+// again.
+func (e *Engine) CompactLocalBefore(cursor uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	i := sort.Search(len(e.local), func(i int) bool { return e.local[i].At.After(olderThan) })
-	if i > 0 {
-		e.local = append([]Dispatch(nil), e.local[i:]...)
+	if cursor <= e.localDropped {
+		return
 	}
+	n := cursor - e.localDropped
+	if n > uint64(len(e.local)) {
+		n = uint64(len(e.local))
+	}
+	e.local = append([]Dispatch(nil), e.local[n:]...)
+	e.localDropped += n
 }
 
 // Stats returns a copy of the engine counters.

@@ -137,28 +137,37 @@ func TestMergeRemoteSkipsExpired(t *testing.T) {
 	}
 }
 
-func TestLocalDispatchesSince(t *testing.T) {
+func TestLocalDispatchesAfter(t *testing.T) {
 	clock := vtime.NewManual(epoch)
 	e := newEngine(clock, "")
 	e.UpdateSites(statuses(100), clock.Now())
-	var cut time.Time
 	for i := 0; i < 5; i++ {
 		clock.Advance(time.Minute)
-		if i == 2 {
-			cut = clock.Now()
-		}
 		e.RecordDispatch(Dispatch{JobID: fmt.Sprintf("j%d", i), Site: "site-000", Owner: "atlas", CPUs: 1, Runtime: time.Hour, At: clock.Now()})
 	}
-	got := e.LocalDispatchesSince(cut)
-	if len(got) != 2 {
-		t.Fatalf("since cut: %d records, want 2", len(got))
+	all, hi := e.LocalDispatchesAfter(0)
+	if len(all) != 5 || hi != 5 {
+		t.Fatalf("after 0: %d records hi=%d, want 5 records hi=5", len(all), hi)
 	}
-	if all := e.LocalDispatchesSince(time.Time{}); len(all) != 5 {
-		t.Fatalf("all: %d, want 5", len(all))
+	got, hi2 := e.LocalDispatchesAfter(3)
+	if len(got) != 2 || got[0].JobID != "j3" || hi2 != 5 {
+		t.Fatalf("after 3: %d records first=%v hi=%d, want 2/j3/5", len(got), got, hi2)
 	}
-	e.CompactLocalLog(cut)
-	if all := e.LocalDispatchesSince(time.Time{}); len(all) != 2 {
-		t.Fatalf("after compact: %d, want 2", len(all))
+	if rest, _ := e.LocalDispatchesAfter(99); len(rest) != 0 {
+		t.Fatalf("cursor past end returned %d records", len(rest))
+	}
+
+	e.CompactLocalBefore(3)
+	if rest, hi3 := e.LocalDispatchesAfter(0); len(rest) != 2 || hi3 != 5 {
+		t.Fatalf("after compact: %d records hi=%d, want 2 records hi=5", len(rest), hi3)
+	}
+	// Sequence numbers survive compaction: cursor 4 still means "j4 only".
+	if rest, _ := e.LocalDispatchesAfter(4); len(rest) != 1 || rest[0].JobID != "j4" {
+		t.Fatalf("after compact, cursor 4: %v", rest)
+	}
+	e.CompactLocalBefore(2) // stale cursor: must be a no-op
+	if rest, _ := e.LocalDispatchesAfter(0); len(rest) != 2 {
+		t.Fatalf("stale compact changed log: %d records", len(rest))
 	}
 }
 

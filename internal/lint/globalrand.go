@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// globalrandBanned lists math/rand package-level functions: draws on the
+// process-global source (Intn, Float64, ...), the global reseed (Seed),
+// and raw source construction (New, NewSource, NewZipf), which must
+// instead go through netsim.Stream so every stream is derived from the
+// experiment's master seed and a stable name. Referring to the types
+// (rand.Rand in a field or parameter) stays legal.
+var globalrandBanned = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "NormFloat64": true, "ExpFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 additions, should the repo ever migrate.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"Uint32N": true, "Uint64N": true, "UintN": true, "Uint": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// GlobalRand enforces the seeded-stream invariant: all randomness flows
+// through netsim.Stream(seed, name), so one master seed replays an
+// entire experiment and distinct components draw from independent,
+// stable streams. The global math/rand source breaks both properties
+// (it is shared across goroutines, so interleaving changes the
+// sequence each component sees). Only internal/netsim, which implements
+// the stream derivation, touches math/rand constructors directly. Test
+// files are skipped: a test-local fixed-seed rand.New is already
+// replayable.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "forbid top-level math/rand functions outside internal/netsim; " +
+		"draw from seeded netsim.Stream streams so runs replay from one seed",
+	SkipTests: true,
+	Run:       runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) error {
+	pkg := pass.Pkg
+	if pkg.ImportPath == pkg.Module+"/internal/netsim" {
+		return nil
+	}
+	for _, f := range pass.Files() {
+		locals := map[string]bool{}
+		if n := importedAs(f.AST, "math/rand"); n != "" {
+			locals[n] = true
+		}
+		if n := importedAs(f.AST, "math/rand/v2"); n != "" {
+			locals[n] = true
+		}
+		if len(locals) == 0 {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || !locals[id.Name] || !isPkgRef(id) {
+				return true
+			}
+			if globalrandBanned[sel.Sel.Name] {
+				pass.Reportf(call.Pos(),
+					"rand.%s bypasses the seeded stream discipline; derive a stream with netsim.Stream(seed, name)",
+					sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

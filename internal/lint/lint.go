@@ -1,0 +1,284 @@
+// Package lint is the determinism lint suite for the DI-GRUBER
+// reproduction. The paper's results are shape claims — who wins, where
+// saturation falls — and those only replay exactly if every experiment
+// is deterministic and data-race-free. GridSim-style simulators get that
+// from a single-threaded event core; this repo runs real
+// goroutine-concurrent brokers instead, so the invariants live in
+// conventions:
+//
+//   - all time flows through vtime.Clock (analyzer "wallclock"),
+//   - all randomness flows through seeded netsim.Stream streams
+//     (analyzer "globalrand"),
+//   - library packages return errors instead of panicking
+//     (analyzer "nopanic"),
+//   - no mutex is held across an RPC into the wire/netsim layer, the
+//     classic broker-deadlock shape in the state-exchange mesh
+//     (analyzer "lockedrpc").
+//
+// This package encodes those conventions as analyzers in the style of
+// golang.org/x/tools/go/analysis, implemented on the standard library
+// only (go/ast + go/parser; no network deps). The analyzers are
+// syntactic: they resolve package identifiers through each file's import
+// table rather than full type information, which is exact for the
+// qualified-call patterns they police.
+//
+// Intentional violations are suppressed with an annotation on the
+// offending line or the line directly above it:
+//
+//	//lint:allow wallclock -- real-time watchdog, not simulated time
+//
+// Multiple analyzer names may be given, comma-separated; everything
+// after " -- " is a free-form justification (required by convention,
+// not by the checker).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Analyzer is one named invariant check, mirroring the shape of
+// golang.org/x/tools/go/analysis.Analyzer.
+type Analyzer struct {
+	// Name is the identifier used in diagnostics and //lint:allow
+	// annotations.
+	Name string
+	// Doc is the one-paragraph description shown by -list.
+	Doc string
+	// SkipTests excludes _test.go files from the pass. Test files get
+	// latitude where noted in each analyzer's Doc (e.g. real-time
+	// watchdog deadlines bounding how long a test may hang).
+	SkipTests bool
+	// Run inspects pass.Files and reports violations via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// File is one parsed source file of a package.
+type File struct {
+	// Name is the file path as given to the loader.
+	Name string
+	// AST is the parsed file, including comments.
+	AST *ast.File
+	// Test marks _test.go files.
+	Test bool
+}
+
+// Package is the unit an analyzer runs over.
+type Package struct {
+	// Module is the module path (e.g. "digruber"); analyzers use it to
+	// name in-repo packages like Module+"/internal/vtime".
+	Module string
+	// ImportPath is the package's import path within the module.
+	ImportPath string
+	// Dir is the package directory on disk.
+	Dir string
+	// Fset positions all Files.
+	Fset *token.FileSet
+	// Files holds every .go file in the directory, tests included.
+	Files []*File
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Files returns the files the analyzer should inspect, honouring
+// SkipTests.
+func (p *Pass) Files() []*File {
+	if !p.Analyzer.SkipTests {
+		return p.Pkg.Files
+	}
+	out := make([]*File, 0, len(p.Pkg.Files))
+	for _, f := range p.Pkg.Files {
+		if !f.Test {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// All returns the full determinism suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Wallclock, GlobalRand, NoPanic, LockedRPC}
+}
+
+// ByName resolves a comma-separated analyzer list ("" means all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Run applies the analyzers to every package, drops diagnostics covered
+// by //lint:allow annotations, and returns the remainder in file/line
+// order.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range pass.diags {
+				if allows.covers(a.Name, d.Pos) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// allowSet records which analyzers are allowed on which line of which
+// file. An annotation covers its own line (end-of-line comment) and the
+// line directly below it (comment above the offending statement).
+type allowSet map[string]map[int]map[string]bool // file → line → analyzer
+
+func collectAllows(pkg *Package) allowSet {
+	set := allowSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				line := pkg.Fset.Position(c.Pos()).Line
+				file := pkg.Fset.Position(c.Pos()).Filename
+				if set[file] == nil {
+					set[file] = map[int]map[string]bool{}
+				}
+				if set[file][line] == nil {
+					set[file][line] = map[string]bool{}
+				}
+				for _, n := range names {
+					set[file][line][n] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// parseAllow recognises "//lint:allow name[,name...] [-- reason]".
+func parseAllow(comment string) ([]string, bool) {
+	const prefix = "//lint:allow"
+	if !strings.HasPrefix(comment, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(comment, prefix))
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
+	}
+	if rest == "" {
+		return nil, false
+	}
+	var names []string
+	for _, n := range strings.Split(rest, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}
+
+func (s allowSet) covers(analyzer string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if lines[line][analyzer] || lines[line]["all"] {
+			return true
+		}
+	}
+	return false
+}
+
+// importedAs returns the local name under which importPath is imported
+// in f, or "" if it is not imported (or only blank/dot imported, which
+// the syntactic analyzers cannot track).
+func importedAs(f *ast.File, importPath string) string {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != importPath {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "_" || imp.Name.Name == "." {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		return path.Base(p)
+	}
+	return ""
+}
+
+// isPkgRef reports whether id plausibly refers to an imported package
+// rather than a local variable shadowing the package name. The parser's
+// scope resolution attaches an Object to locally-declared identifiers;
+// package qualifiers resolve to the import (Kind Pkg) or to nothing.
+func isPkgRef(id *ast.Ident) bool {
+	return id.Obj == nil || id.Obj.Kind == ast.Pkg
+}

@@ -1,0 +1,112 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"digruber/internal/lint"
+	"digruber/internal/lint/linttest"
+)
+
+var testdata = filepath.Join("testdata", "src")
+
+// The table drives one linttest run per (analyzer, fixture package):
+// fixture files carry their own expectations as "// want" comments, and
+// exempt-package fixtures contain violations with no wants, so a silent
+// run is the assertion.
+func TestAnalyzers(t *testing.T) {
+	cases := []struct {
+		analyzer *lint.Analyzer
+		pkgs     []string
+	}{
+		{lint.Wallclock, []string{
+			"digruber/internal/simlib", // violations + clean shapes + skipped test file
+			"digruber/internal/vtime",  // exempt: the wall-clock bridge
+			"digruber/cmd/tool",        // exempt: real entrypoint
+		}},
+		{lint.GlobalRand, []string{
+			"digruber/internal/randlib", // violations incl. renamed import
+			"digruber/internal/netsim",  // exempt: the stream derivation point
+		}},
+		{lint.NoPanic, []string{
+			"digruber/internal/paniclib", // violations + annotated constructor + test file
+			"digruber/examples/demo",     // out of scope: not under internal/
+		}},
+		{lint.LockedRPC, []string{
+			"digruber/internal/meshlib", // deadlock shapes + canonical clean patterns
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			linttest.Run(t, testdata, tc.analyzer, tc.pkgs...)
+		})
+	}
+}
+
+// Every analyzer must stay silent on the annotated-violations fixture:
+// the //lint:allow forms (line-above, end-of-line, multi-name) all
+// suppress.
+func TestAllowAnnotations(t *testing.T) {
+	for _, a := range lint.All() {
+		linttest.Run(t, testdata, a, "digruber/internal/allowlib")
+	}
+}
+
+// The suite over the real repository must be clean: every invariant
+// violation is either fixed or carries an explicit annotation. This is
+// the same gate CI runs via cmd/digruber-lint.
+func TestRepositoryIsClean(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loader found only %d packages; pattern expansion is broken", len(pkgs))
+	}
+	diags, err := lint.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("repository violation: %s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	all, err := lint.ByName("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 4, nil", len(all), err)
+	}
+	two, err := lint.ByName("wallclock, nopanic")
+	if err != nil || len(two) != 2 || two[0].Name != "wallclock" || two[1].Name != "nopanic" {
+		t.Fatalf("ByName subset = %v, err %v", two, err)
+	}
+	if _, err := lint.ByName("nosuch"); err == nil {
+		t.Fatal("unknown analyzer accepted")
+	}
+}
+
+func TestLoadModuleSkipsTestdata(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.LoadModule(root, []string{"./internal/lint/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Dir, "testdata") {
+			t.Errorf("loader descended into %s; testdata must be skipped", p.Dir)
+		}
+	}
+	if len(pkgs) != 2 { // lint + linttest
+		t.Fatalf("got %d packages under internal/lint, want 2", len(pkgs))
+	}
+}

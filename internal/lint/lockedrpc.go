@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockedRPC flags RPCs issued while a mutex is held — the classic
+// broker-deadlock shape in the state-exchange mesh: decision point A
+// holds its state lock while calling peer B, whose handler needs its own
+// lock while calling back into A. Emulated WAN latency makes the window
+// enormous (hundreds of virtual milliseconds), so the shape that "works
+// on the laptop" wedges the full-mesh run.
+//
+// The analysis is a per-function, flow-insensitive-but-ordered walk:
+// x.Lock()/x.RLock() marks x held, x.Unlock()/x.RUnlock() releases it,
+// and "defer x.Unlock()" keeps x held to the end of the function. While
+// any lock is held, a call to wire.Call (the repo's only RPC entry
+// point, generic instantiations included) or to any .Call(...) method —
+// the wire.Client method reached through a field — is reported.
+// Goroutine bodies start with no inherited locks (the spawner's locks do
+// not transfer); other function literals inherit the current set, which
+// covers immediately-invoked and synchronous-callback patterns.
+// Branches operate on a copy of the held set, so a lock taken inside an
+// if-arm does not leak past it. False positives on genuinely safe shapes
+// get a "//lint:allow lockedrpc -- reason" annotation.
+var LockedRPC = &Analyzer{
+	Name: "lockedrpc",
+	Doc: "forbid RPC calls into internal/wire while a mutex is held; " +
+		"copy state under the lock, release, then call the wire",
+	SkipTests: false,
+	Run:       runLockedRPC,
+}
+
+func runLockedRPC(pass *Pass) error {
+	for _, f := range pass.Files() {
+		w := &lockWalker{
+			pass: pass,
+			wire: importedAs(f.AST, pass.Pkg.Module+"/internal/wire"),
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w.block(fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+type lockWalker struct {
+	pass *Pass
+	wire string // local import name of internal/wire, "" if not imported
+}
+
+func (w *lockWalker) block(stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		w.stmt(s, held)
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case nil:
+		return
+	case *ast.ExprStmt:
+		if recv, op, ok := lockOp(s.X); ok {
+			switch op {
+			case opLock:
+				held[recv] = true
+			case opUnlock:
+				delete(held, recv)
+			}
+			return
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// "defer x.Unlock()" pins x held to function end — exactly the
+		// window the analyzer polices — so the held set is unchanged.
+		if _, op, ok := lockOp(s.Call); ok && op == opUnlock {
+			return
+		}
+		w.expr(s.Call, held)
+	case *ast.GoStmt:
+		// The goroutine does not inherit the spawner's locks; its
+		// arguments are still evaluated here.
+		for _, arg := range s.Call.Args {
+			w.expr(arg, held)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.block(fl.Body.List, map[string]bool{})
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.BlockStmt:
+		w.block(s.List, held)
+	case *ast.IfStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		w.block(s.Body.List, copyHeld(held))
+		w.stmt(s.Else, copyHeld(held))
+	case *ast.ForStmt:
+		w.stmt(s.Init, held)
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		inner := copyHeld(held)
+		w.block(s.Body.List, inner)
+		w.stmt(s.Post, inner)
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.block(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held)
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.block(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held)
+		w.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.block(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := copyHeld(held)
+				w.stmt(cc.Comm, inner)
+				w.block(cc.Body, inner)
+			}
+		}
+	}
+}
+
+// expr reports RPC calls reached while locks are held. Function literals
+// inherit the current held set (synchronous-callback assumption); go
+// statements are handled in stmt.
+func (w *lockWalker) expr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.block(n.Body.List, copyHeld(held))
+			return false
+		case *ast.CallExpr:
+			if len(held) == 0 {
+				return true
+			}
+			if callee := w.rpcCallee(n); callee != "" {
+				w.pass.Reportf(n.Pos(),
+					"RPC %s while holding %s; copy state under the lock, release it, then call the wire (mesh-deadlock shape)",
+					callee, heldNames(held))
+			}
+		}
+		return true
+	})
+}
+
+// heldNames renders the held set deterministically for the message.
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for n := range held {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+type lockOpKind int
+
+const (
+	opLock lockOpKind = iota
+	opUnlock
+)
+
+// lockOp recognises x.Lock()/x.RLock()/x.Unlock()/x.RUnlock() statements
+// and returns the lock expression ("dp.mu") and the operation.
+func lockOp(e ast.Expr) (string, lockOpKind, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", 0, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), opLock, true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), opUnlock, true
+	}
+	return "", 0, false
+}
+
+// rpcCallee classifies a call as an RPC into the wire layer, returning a
+// printable callee name or "".
+func (w *lockWalker) rpcCallee(call *ast.CallExpr) string {
+	fun := call.Fun
+	// Unwrap generic instantiation: wire.Call[Req, Resp](...).
+	switch x := fun.(type) {
+	case *ast.IndexExpr:
+		fun = x.X
+	case *ast.IndexListExpr:
+		fun = x.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && w.wire != "" && id.Name == w.wire && isPkgRef(id) {
+		// Package-qualified: only Call performs an RPC; NewClient,
+		// NewServer, Handle and the profile constructors are setup.
+		if sel.Sel.Name == "Call" {
+			return w.wire + ".Call"
+		}
+		return ""
+	}
+	// Method call named Call — the wire.Client entry point reached
+	// through a field (c.rpc.Call, link.client.Call, ...).
+	if sel.Sel.Name == "Call" {
+		return types.ExprString(sel)
+	}
+	return ""
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NoPanic enforces the error-return invariant for library code: packages
+// under internal/ are driven by experiment harnesses that must be able
+// to surface a failure as a result row, not die mid-run, so they return
+// errors instead of panicking. The documented exceptions — constructor
+// argument checks on programmer error (vtime.NewScaled with a
+// non-positive speedup) and Must* literal helpers — carry a
+// "//lint:allow nopanic -- reason" annotation. Test files are skipped:
+// t.Fatal-style helpers and deliberate panic/recover tests are fine.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "forbid panic in library packages under internal/; return errors, " +
+		"annotating documented constructor argument checks with //lint:allow nopanic",
+	SkipTests: true,
+	Run:       runNoPanic,
+}
+
+func runNoPanic(pass *Pass) error {
+	pkg := pass.Pkg
+	if !strings.HasPrefix(pkg.ImportPath, pkg.Module+"/internal/") {
+		return nil
+	}
+	for _, f := range pass.Files() {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			// A local function named panic would shadow the builtin.
+			if id.Obj != nil {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"panic in library package %s; return an error so harness runs fail as results, not crashes",
+				pkg.ImportPath)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+// Command tool is the wallclock fixture for exempt cmd/ entrypoints:
+// real deployment binaries run on the real clock.
+package main
+
+import "time"
+
+func main() {
+	deadline := time.Now().Add(time.Minute) // exempt: cmd/ entrypoint
+	for time.Now().Before(deadline) {
+		time.Sleep(time.Second)
+	}
+}

@@ -1,0 +1,8 @@
+// Command demo is the nopanic scope fixture: packages outside internal/
+// (examples, cmds) may panic — log.Fatal-style exits are their error
+// handling.
+package main
+
+func main() {
+	panic("examples may crash loudly") // no want: not a library package
+}

@@ -1,0 +1,34 @@
+// Package allowlib exercises the //lint:allow annotation: every
+// violation below is intentional and annotated, so the suite must stay
+// silent (no wants in this file).
+package allowlib
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Real-time drain bound: deliberately wall-clock, like the experiment
+// harness's straggler timeout.
+func drainDeadline() time.Time {
+	//lint:allow wallclock -- real-time bound on harness wall time
+	return time.Now().Add(time.Minute)
+}
+
+func eolForm() {
+	time.Sleep(time.Second) //lint:allow wallclock -- end-of-line form
+}
+
+func multiName() {
+	//lint:allow wallclock, globalrand -- both on one line
+	time.Sleep(time.Duration(rand.Intn(10)))
+}
+
+// MustSize is a documented Must-helper.
+func MustSize(n int) int {
+	if n <= 0 {
+		//lint:allow nopanic -- documented Must-helper for literals
+		panic("allowlib: bad size")
+	}
+	return n
+}

@@ -1,0 +1,95 @@
+// Package meshlib is a lockedrpc fixture: the state-exchange
+// mesh-deadlock shapes, bad and good.
+package meshlib
+
+import (
+	"sync"
+	"time"
+
+	"digruber/internal/wire"
+)
+
+type broker struct {
+	mu    sync.Mutex
+	peers []*wire.Client
+	seen  int
+}
+
+type args struct{ From string }
+type reply struct{ OK bool }
+
+// badHeld calls the wire with the state lock held — the textbook
+// deadlock: the peer's handler wants its own lock while calling back.
+func (b *broker) badHeld(peer *wire.Client) {
+	b.mu.Lock()
+	b.seen++
+	_, _ = wire.Call[args, reply](peer, "exchange", args{}, time.Second) // want `RPC wire\.Call while holding b\.mu`
+	b.mu.Unlock()
+}
+
+// badDeferred is the same bug with defer: the lock is pinned to function
+// end, so every call below is under it.
+func (b *broker) badDeferred(peer *wire.Client) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seen++
+	_, _ = wire.Call[args, reply](peer, "exchange", args{}, time.Second) // want `RPC wire\.Call while holding b\.mu`
+}
+
+// badMethod reaches the client through a field; the .Call method name is
+// enough to classify it.
+func (b *broker) badMethod(body []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, _ = b.peers[0].Call("exchange", body, time.Second) // want `RPC b\.peers\[0\]\.Call while holding b\.mu`
+}
+
+// badBranch only calls on one path, but that path holds the lock.
+func (b *broker) badBranch(peer *wire.Client, flush bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if flush {
+		_, _ = wire.Call[args, reply](peer, "flush", args{}, time.Second) // want `RPC wire\.Call while holding b\.mu`
+	}
+}
+
+// goodCopyThenCall is the repo's canonical pattern: snapshot under the
+// lock, release, then go to the wire.
+func (b *broker) goodCopyThenCall(peer *wire.Client) {
+	b.mu.Lock()
+	links := make([]*wire.Client, len(b.peers))
+	copy(links, b.peers)
+	b.mu.Unlock()
+	_, _ = wire.Call[args, reply](peer, "exchange", args{}, time.Second)
+}
+
+// goodGoroutine: a spawned goroutine does not inherit the spawner's
+// locks, and may lock/call/unlock on its own schedule.
+func (b *broker) goodGoroutine(peer *wire.Client) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		_, _ = wire.Call[args, reply](peer, "exchange", args{}, time.Second)
+		b.mu.Lock()
+		b.seen++
+		b.mu.Unlock()
+	}()
+}
+
+// goodBranchScope: a lock taken inside a branch does not leak past it.
+func (b *broker) goodBranchScope(peer *wire.Client, update bool) {
+	if update {
+		b.mu.Lock()
+		b.seen++
+		b.mu.Unlock()
+	}
+	_, _ = wire.Call[args, reply](peer, "exchange", args{}, time.Second)
+}
+
+// goodSetupUnderLock: constructing clients under the lock is setup, not
+// an RPC.
+func (b *broker) goodSetupUnderLock(t wire.Transport) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.peers = append(b.peers, wire.NewClient(wire.ClientConfig{Transport: t}))
+}

@@ -1,0 +1,9 @@
+// Package netsim is the globalrand fixture for the exempt package: the
+// stream-derivation point is the one place allowed to construct sources.
+package netsim
+
+import "math/rand"
+
+func Stream(seed int64, name string) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // exempt: the blessed derivation point
+}

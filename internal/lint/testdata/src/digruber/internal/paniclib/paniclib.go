@@ -1,0 +1,34 @@
+// Package paniclib is a nopanic fixture: library packages under
+// internal/ return errors; annotated constructor checks are the
+// documented exception.
+package paniclib
+
+import "errors"
+
+func bad(v int) int {
+	if v < 0 {
+		panic("negative") // want `panic in library package`
+	}
+	return v
+}
+
+func alsoBad(err error) {
+	panic(err) // want `panic in library package`
+}
+
+func good(v int) (int, error) {
+	if v < 0 {
+		return 0, errors.New("paniclib: negative")
+	}
+	return v, nil
+}
+
+// NewThing's argument check is a documented constructor panic, the
+// annotated exception class.
+func NewThing(size int) []int {
+	if size <= 0 {
+		//lint:allow nopanic -- documented constructor argument check
+		panic("paniclib: size must be positive")
+	}
+	return make([]int, size)
+}

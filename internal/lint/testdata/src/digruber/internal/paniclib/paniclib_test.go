@@ -1,0 +1,10 @@
+package paniclib
+
+// Test helpers may panic freely; the nopanic analyzer skips _test.go
+// files, so there are no wants here.
+func mustPositive(v int) int {
+	if v <= 0 {
+		panic("test fixture: not positive")
+	}
+	return v
+}

@@ -1,0 +1,8 @@
+package randlib
+
+import mrand "math/rand"
+
+// A renamed import is still tracked through the file's import table.
+func renamed() int {
+	return mrand.Intn(6) // want `rand\.Intn bypasses the seeded stream`
+}

@@ -1,0 +1,9 @@
+// Package vtime is the wallclock fixture for the exempt package: the
+// clock implementation is the one place allowed to bridge to real time.
+package vtime
+
+import "time"
+
+func realNow() time.Time {
+	return time.Now() // exempt: this IS the wall-clock bridge
+}

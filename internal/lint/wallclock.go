@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// wallclockBanned lists the time-package entry points that read or wait
+// on the wall clock. Constructors of inert values (time.Date, time.Unix,
+// time.Duration arithmetic, time.Parse) stay legal: they do not observe
+// real time.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// Wallclock enforces the virtual-clock invariant: simulation and library
+// code must take a vtime.Clock instead of reading the wall clock, so a
+// run's timing replays identically under any load and any -race
+// overhead. Only internal/vtime (the bridge to real time) and the cmd/
+// entrypoints (real deployments on the real clock) are exempt. Test
+// files are skipped: watchdog deadlines that bound how long a test may
+// hang are legitimately real-time.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbid direct time.Now/Sleep/After/Tick/... outside internal/vtime and cmd/; " +
+		"simulation and library packages must take a vtime.Clock",
+	SkipTests: true,
+	Run:       runWallclock,
+}
+
+func runWallclock(pass *Pass) error {
+	pkg := pass.Pkg
+	if pkg.ImportPath == pkg.Module+"/internal/vtime" ||
+		strings.HasPrefix(pkg.ImportPath, pkg.Module+"/cmd/") {
+		return nil
+	}
+	for _, f := range pass.Files() {
+		local := importedAs(f.AST, "time")
+		if local == "" {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || id.Name != local || !isPkgRef(id) {
+				return true
+			}
+			if wallclockBanned[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the wall clock; take a vtime.Clock and use Clock.%s so the run replays deterministically",
+					sel.Sel.Name, sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -40,6 +40,7 @@ func ParsePath(s string) (Path, error) {
 func MustParsePath(s string) Path {
 	p, err := ParsePath(s)
 	if err != nil {
+		//lint:allow nopanic -- documented Must-helper for compile-time path literals
 		panic(err)
 	}
 	return p

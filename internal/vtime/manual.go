@@ -81,6 +81,7 @@ func (m *Manual) AfterFunc(d time.Duration, f func()) Timer {
 // NewTicker implements Clock.
 func (m *Manual) NewTicker(d time.Duration) Ticker {
 	if d <= 0 {
+		//lint:allow nopanic -- constructor argument check, mirrors time.NewTicker's contract
 		panic("vtime: ticker period must be positive")
 	}
 	ch := make(chan time.Time, 1)

@@ -20,6 +20,7 @@ type Scaled struct {
 // speedup times faster than real time. speedup must be positive.
 func NewScaled(epoch time.Time, speedup float64) *Scaled {
 	if speedup <= 0 {
+		//lint:allow nopanic -- constructor argument check: a non-positive speedup is a programming error
 		panic("vtime: speedup must be positive")
 	}
 	return &Scaled{epoch: epoch, started: time.Now(), speedup: speedup}

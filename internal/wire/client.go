@@ -30,6 +30,12 @@ type Client struct {
 	pending map[uint64]chan frame
 	nextID  uint64
 	closed  bool
+
+	// wmu serializes writes to the connection, separately from mu: a
+	// request write can block on a backed-up pipe, and holding mu there
+	// would stop readLoop from draining responses — the two directions
+	// would deadlock through the server (same split as serverConn.wmu).
+	wmu sync.Mutex
 }
 
 // ClientConfig collects the wiring a Client needs.
@@ -156,9 +162,9 @@ func (c *Client) Call(method string, body []byte, timeout time.Duration) ([]byte
 	conn := c.conn
 	c.mu.Unlock()
 
-	c.mu.Lock()
+	c.wmu.Lock()
 	err := enc.Encode(frame{ID: id, Kind: frameRequest, Method: method, Body: body})
-	c.mu.Unlock()
+	c.wmu.Unlock()
 	if err != nil {
 		c.forget(id)
 		c.dropConn(conn, err)

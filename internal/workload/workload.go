@@ -113,10 +113,12 @@ func (g *Generator) HostOwner(i int) usla.Path {
 }
 
 // NextJob produces host i's next job. Runtimes are log-normal around
-// MeanRuntime; IDs are unique across hosts.
-func (g *Generator) NextJob(host int) *grid.Job {
+// MeanRuntime; IDs are unique across hosts. A host index outside
+// [0, Hosts) returns an error so a misconfigured harness fails as a
+// recorded result instead of killing the run.
+func (g *Generator) NextJob(host int) (*grid.Job, error) {
 	if host < 0 || host >= g.cfg.Hosts {
-		panic(fmt.Sprintf("workload: host %d out of range", host))
+		return nil, fmt.Errorf("workload: host %d out of range [0,%d)", host, g.cfg.Hosts)
 	}
 	g.seq[host]++
 	rng := g.rngs[host]
@@ -137,14 +139,14 @@ func (g *Generator) NextJob(host int) *grid.Job {
 		InputBytes:  g.cfg.InputBytes,
 		OutputBytes: g.cfg.OutputBytes,
 		SubmitHost:  g.HostName(host),
-	}
+	}, nil
 }
 
 // Policies builds the USLA policy set matching the composite workload:
 // every VO gets an equal fair-share target of the grid and an upper
 // limit at twice its target (so bursting is possible but bounded), and
 // groups share their VO equally.
-func Policies(cfg Config) *usla.PolicySet {
+func Policies(cfg Config) (*usla.PolicySet, error) {
 	cfg.setDefaults()
 	ps := usla.NewPolicySet()
 	voTarget := 100.0 / float64(cfg.VOs)
@@ -153,20 +155,27 @@ func Policies(cfg Config) *usla.PolicySet {
 		voUpper = 100
 	}
 	groupTarget := 100.0 / float64(cfg.GroupsPerVO)
+	add := func(consumer usla.Path, percent float64, kind usla.ShareKind) error {
+		e := usla.Entry{Provider: usla.AnyProvider, Consumer: consumer, Resource: usla.CPU, Share: usla.Share{Percent: percent, Kind: kind}}
+		if err := ps.Add(e); err != nil {
+			return fmt.Errorf("workload: policy for %s: %w", consumer, err)
+		}
+		return nil
+	}
 	for v := 0; v < cfg.VOs; v++ {
 		vo := usla.Path{VO: VOName(v)}
-		mustAdd(ps, usla.Entry{Provider: usla.AnyProvider, Consumer: vo, Resource: usla.CPU, Share: usla.Share{Percent: voTarget, Kind: usla.Target}})
-		mustAdd(ps, usla.Entry{Provider: usla.AnyProvider, Consumer: vo, Resource: usla.CPU, Share: usla.Share{Percent: voUpper, Kind: usla.UpperLimit}})
+		if err := add(vo, voTarget, usla.Target); err != nil {
+			return nil, err
+		}
+		if err := add(vo, voUpper, usla.UpperLimit); err != nil {
+			return nil, err
+		}
 		for gr := 0; gr < cfg.GroupsPerVO; gr++ {
 			p := usla.Path{VO: VOName(v), Group: GroupName(gr)}
-			mustAdd(ps, usla.Entry{Provider: usla.AnyProvider, Consumer: p, Resource: usla.CPU, Share: usla.Share{Percent: groupTarget, Kind: usla.Target}})
+			if err := add(p, groupTarget, usla.Target); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return ps
-}
-
-func mustAdd(ps *usla.PolicySet, e usla.Entry) {
-	if err := ps.Add(e); err != nil {
-		panic(err)
-	}
+	return ps, nil
 }

@@ -36,8 +36,11 @@ func TestNextJobDeterministicAndUnique(t *testing.T) {
 	seen := map[string]bool{}
 	for host := 0; host < 5; host++ {
 		for k := 0; k < 20; k++ {
-			j1 := g1.NextJob(host)
-			j2 := g2.NextJob(host)
+			j1, err1 := g1.NextJob(host)
+			j2, err2 := g2.NextJob(host)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("NextJob errors: %v, %v", err1, err2)
+			}
 			if j1.ID != j2.ID || j1.Runtime != j2.Runtime {
 				t.Fatal("generator not deterministic")
 			}
@@ -61,7 +64,11 @@ func TestRuntimeDistributionSpread(t *testing.T) {
 	var sum time.Duration
 	const n = 2000
 	for i := 0; i < n; i++ {
-		r := g.NextJob(0).Runtime
+		j, err := g.NextJob(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := j.Runtime
 		if r < min {
 			min = r
 		}
@@ -81,19 +88,25 @@ func TestRuntimeDistributionSpread(t *testing.T) {
 	}
 }
 
-func TestNextJobPanicsOnBadHost(t *testing.T) {
+func TestNextJobErrorsOnBadHost(t *testing.T) {
 	g := NewGenerator(Default())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	g.NextJob(-1)
+	if _, err := g.NextJob(-1); err == nil {
+		t.Fatal("negative host accepted")
+	}
+	if _, err := g.NextJob(g.Config().Hosts); err == nil {
+		t.Fatal("host == Hosts accepted")
+	}
+	if _, err := g.NextJob(0); err != nil {
+		t.Fatalf("valid host rejected: %v", err)
+	}
 }
 
 func TestPoliciesShape(t *testing.T) {
 	cfg := Default()
-	ps := Policies(cfg)
+	ps, err := Policies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// 10 VOs × (target+upper) + 100 groups × target = 120 entries.
 	if got := ps.Len(); got != cfg.VOs*2+cfg.VOs*cfg.GroupsPerVO {
 		t.Fatalf("policy entries = %d", got)
@@ -116,7 +129,10 @@ func TestPoliciesShape(t *testing.T) {
 
 func TestPoliciesSumToWholeGrid(t *testing.T) {
 	cfg := Default()
-	ps := Policies(cfg)
+	ps, err := Policies(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var total float64
 	for v := 0; v < cfg.VOs; v++ {
 		l := ps.LimitsFor(usla.AnyProvider, usla.Path{VO: VOName(v)}, usla.CPU)
@@ -133,7 +149,10 @@ func TestConfigDefaultsApplied(t *testing.T) {
 	if cfg.VOs != 10 || cfg.GroupsPerVO != 10 || cfg.JobCPUs != 1 {
 		t.Fatalf("defaults not applied: %+v", cfg)
 	}
-	j := g.NextJob(1)
+	j, err := g.NextJob(1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if j.CPUs != 1 || j.Runtime <= 0 {
 		t.Fatalf("job from defaulted config: %+v", j)
 	}

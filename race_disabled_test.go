@@ -1,0 +1,5 @@
+//go:build !race
+
+package digruber_test
+
+const raceEnabled = false

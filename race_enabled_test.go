@@ -1,0 +1,8 @@
+//go:build race
+
+package digruber_test
+
+// raceEnabled reports whether this binary was built with the race
+// detector. Live time-compressed measurements are skipped under it: the
+// detector's slowdown reads as virtual-time stalls (DESIGN.md §6.8).
+const raceEnabled = true

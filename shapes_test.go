@@ -16,6 +16,9 @@ func TestHeadlineShapesLive(t *testing.T) {
 	if testing.Short() {
 		t.Skip("two bench-scale emulations (~12s)")
 	}
+	if raceEnabled {
+		t.Skip("race-detector slowdown invalidates time-compressed live measurements (DESIGN.md §6.8)")
+	}
 	run := func(dps int) exp.ScenarioResult {
 		res, err := exp.RunScenario(exp.ScenarioConfig{
 			Name:        "shapes",
