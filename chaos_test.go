@@ -1,0 +1,71 @@
+package digruber_test
+
+import (
+	"testing"
+
+	"digruber/internal/exp"
+	"digruber/internal/wire"
+)
+
+// TestChaosFaultPlaneLive runs the ext-failure chaos scenario end to end
+// on the live emulation: a ten-point GT4 mesh, three brokers crashed by
+// the seeded fault plane mid-run and healed later. Invariant assertions
+// (the run completes, work keeps flowing, brokers keep exchanging) always
+// run — including under -race, where this doubles as a concurrency
+// stress of the crash/restart/failover paths. The time-sensitive
+// measurement assertions (dip depth, recovery point) are skipped under
+// the race detector, whose slowdown invalidates time-compressed
+// measurements (DESIGN.md §6.8), exactly like TestHeadlineShapesLive.
+func TestChaosFaultPlaneLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale chaos emulation (~5s)")
+	}
+	scale := exp.BenchScale()
+	crashAt := scale.Duration * 2 / 5
+	healAt := scale.Duration * 3 / 5
+	res, err := exp.RunScenario(exp.ScenarioConfig{
+		Name:    "chaos-live",
+		Scale:   scale,
+		Profile: wire.GT4(),
+		DPs:     10,
+		Faults:  &exp.FaultConfig{CrashDPs: 3, CrashAt: crashAt, HealAt: healAt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Invariants: the fleet survived the outage as a service.
+	if res.DiPerF.Ops == 0 {
+		t.Fatal("no operations completed")
+	}
+	if res.DiPerF.Handled == 0 {
+		t.Fatal("no operation was handled by any broker across the whole run")
+	}
+	if res.ExchangeRounds == 0 {
+		t.Fatal("no exchange rounds completed")
+	}
+	if got := len(res.DiPerF.ThroughputCurve); got < int(healAt/scale.Window) {
+		t.Fatalf("throughput curve has %d windows, too short to span the outage", got)
+	}
+
+	if raceEnabled {
+		t.Log("race detector on: skipping time-sensitive dip/recovery assertions")
+		return
+	}
+	a := exp.AnalyzeFaultRun(res, crashAt, healAt)
+	if a.PrePlateau <= 0 {
+		t.Fatalf("no pre-fault throughput plateau (analysis %+v)", a)
+	}
+	if !a.Recovered {
+		t.Fatalf("throughput never recovered to 90%% of the pre-fault plateau: %+v", a)
+	}
+	if maxRecovery := scale.Duration - healAt; a.RecoveryTime > maxRecovery {
+		t.Fatalf("recovery took %s, beyond the post-heal run remainder %s", a.RecoveryTime, maxRecovery)
+	}
+	// Recovered already demands a window back at 90% of the plateau; the
+	// plateau-mean check gets extra headroom because window means on a
+	// time-compressed run carry scheduling noise.
+	if a.PostPlateau < 0.8*a.PrePlateau {
+		t.Fatalf("post-heal plateau %.2f q/s below 80%% of pre-fault %.2f q/s", a.PostPlateau, a.PrePlateau)
+	}
+}

@@ -28,6 +28,7 @@ func main() {
 		list  = flag.Bool("list", false, "list experiments and exit")
 		run   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
 		scale = flag.String("scale", "bench", "bench or full")
+		seed  = flag.Int64("seed", 0, "replay seed for workload and fault schedules (0 = default)")
 	)
 	flag.Parse()
 
@@ -48,6 +49,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want bench or full)\n", *scale)
 		os.Exit(2)
 	}
+	sc.Seed = *seed
 
 	var selected []exp.Experiment
 	if *run == "all" {

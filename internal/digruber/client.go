@@ -45,6 +45,22 @@ type ClientConfig struct {
 	// and records the dispatch, so no site state crosses the WAN and no
 	// separate report is needed.
 	SingleCall bool
+	// Failover optionally lists alternate decision points. After
+	// FailoverThreshold consecutive failed interactions with the bound
+	// point the client rebinds to the next entry (cycling, skipping the
+	// current binding) — a cheaper first resort than staying bound to a
+	// dead broker and paying a timeout plus random fallback per job.
+	Failover []DPRef
+	// FailoverThreshold is the consecutive-failure count that triggers a
+	// failover rebind (default 3 when Failover is non-empty).
+	FailoverThreshold int
+}
+
+// DPRef names one decision point a client can bind to.
+type DPRef struct {
+	Name string
+	Node string
+	Addr string
 }
 
 // randSource is the slice-index randomness the client needs; *rand.Rand
@@ -77,8 +93,16 @@ type Client struct {
 	selector gruber.Selector
 	clock    vtime.Clock
 
-	mu  sync.Mutex
-	rpc *wire.Client
+	mu     sync.Mutex
+	rpc    *wire.Client
+	closed bool
+	// retiring maps connections replaced by Rebind, still draining
+	// in-flight calls, to the channel that cancels their deferred close.
+	retiring map[*wire.Client]chan struct{}
+	// consecFails counts consecutive failed decision-point interactions;
+	// failoverIdx walks the Failover ring.
+	consecFails int
+	failoverIdx int
 }
 
 // conn returns the current RPC client (it changes on Rebind).
@@ -145,6 +169,7 @@ func (c *Client) Schedule(j *grid.Job) Decision {
 	rpc := c.conn()
 	reply, err := wire.Call[QueryArgs, QueryReply](rpc, MethodQuery,
 		QueryArgs{Owner: j.Owner.String(), CPUs: j.CPUs}, c.cfg.Timeout)
+	c.noteOutcome(err)
 	if err != nil {
 		// Graceful degradation: random site, no USLAs, not handled.
 		dec.Site, dec.Err = c.fallback()
@@ -200,6 +225,7 @@ func (c *Client) scheduleSingleCall(j *grid.Job, start time.Time, dec Decision) 
 		CPUs:    j.CPUs,
 		Runtime: j.Runtime,
 	}, c.cfg.Timeout)
+	c.noteOutcome(err)
 	switch {
 	case err != nil:
 		dec.Site, dec.Err = c.fallback()
@@ -248,19 +274,22 @@ func pickAnyFree(loads []gruber.SiteLoad, cpus int, rng randSource) (string, boo
 }
 
 // Rebind switches the client to a different decision point — used by
-// the Provisioner when it rebalances load after deploying a new point.
-// In-flight calls on the old connection run to completion; subsequent
-// Schedule calls go to the new point.
+// the Provisioner when it rebalances load after deploying a new point,
+// and by the failover logic when the bound point looks dead. In-flight
+// calls on the old connection run to completion; subsequent Schedule
+// calls go to the new point. Rebinding a closed client is a no-op: Close
+// is terminal.
 func (c *Client) Rebind(dpName, dpNode, addr string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.cfg.DPAddr == addr && c.cfg.DPName == dpName {
+	if c.closed || (c.cfg.DPAddr == addr && c.cfg.DPName == dpName) {
+		c.mu.Unlock()
 		return
 	}
 	old := c.rpc
 	c.cfg.DPName = dpName
 	c.cfg.DPNode = dpNode
 	c.cfg.DPAddr = addr
+	c.consecFails = 0
 	c.rpc = wire.NewClient(wire.ClientConfig{
 		Node:       c.cfg.Node,
 		ServerNode: dpNode,
@@ -270,17 +299,81 @@ func (c *Client) Rebind(dpName, dpNode, addr string) {
 		Clock:      c.cfg.Clock,
 	})
 	// Close the old connection in the background once its in-flight
-	// calls have had a chance to finish.
+	// calls have had a chance to finish — unless Close arrives first, in
+	// which case the stop channel fires and the close happens right away
+	// instead of a sleeper goroutine outliving the client.
+	stop := make(chan struct{})
+	if c.retiring == nil {
+		c.retiring = make(map[*wire.Client]chan struct{})
+	}
+	c.retiring[old] = stop
+	grace := c.cfg.Timeout
+	c.mu.Unlock()
 	go func() {
-		c.clock.Sleep(c.cfg.Timeout)
+		select {
+		case <-c.clock.After(grace):
+		case <-stop:
+		}
 		old.Close()
+		c.mu.Lock()
+		delete(c.retiring, old)
+		c.mu.Unlock()
 	}()
 }
 
-// Close releases the client's connection.
+// noteOutcome updates failover accounting after one interaction with the
+// bound decision point. On the configured number of consecutive failures
+// it rebinds to the next Failover entry that differs from the current
+// binding; random per-job fallback still covers the requests in between.
+func (c *Client) noteOutcome(err error) {
+	c.mu.Lock()
+	if err == nil {
+		c.consecFails = 0
+		c.mu.Unlock()
+		return
+	}
+	c.consecFails++
+	threshold := c.cfg.FailoverThreshold
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if len(c.cfg.Failover) == 0 || c.consecFails < threshold {
+		c.mu.Unlock()
+		return
+	}
+	var next DPRef
+	found := false
+	for i := 0; i < len(c.cfg.Failover); i++ {
+		ref := c.cfg.Failover[c.failoverIdx%len(c.cfg.Failover)]
+		c.failoverIdx++
+		if ref.Addr != c.cfg.DPAddr || ref.Name != c.cfg.DPName {
+			next, found = ref, true
+			break
+		}
+	}
+	c.mu.Unlock()
+	if found {
+		c.Rebind(next.Name, next.Node, next.Addr)
+	}
+}
+
+// Close releases the client's connections (the live one and any still
+// draining after a Rebind). Close is terminal and idempotent.
 func (c *Client) Close() {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
 	rpc := c.rpc
+	stops := make([]chan struct{}, 0, len(c.retiring))
+	for _, stop := range c.retiring {
+		stops = append(stops, stop)
+	}
 	c.mu.Unlock()
+	for _, stop := range stops {
+		close(stop)
+	}
 	rpc.Close()
 }

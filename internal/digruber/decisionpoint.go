@@ -2,6 +2,7 @@ package digruber
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -75,22 +76,89 @@ type DecisionPoint struct {
 	listener wire.Listener
 	detector *SaturationDetector
 
-	mu       sync.Mutex
-	peers    map[string]*peerLink
-	started  bool
-	stopped  bool
-	ticker   vtime.Ticker
-	done     chan struct{}
-	rounds   int // exchange rounds completed
-	sentRecs int // dispatch records sent to peers
+	mu        sync.Mutex
+	peers     map[string]*peerLink
+	started   bool
+	ticker    vtime.Ticker
+	done      chan struct{}
+	serveDone chan struct{}
+	rounds    int // exchange rounds completed
+	sentRecs  int // dispatch records sent to peers
 }
 
 type peerLink struct {
-	name   string
+	name string
+	node string
+	addr string
+	// client is nil while the decision point is stopped (wire.Client.Close
+	// is terminal, so Start builds a fresh one).
 	client *wire.Client
 	// lastSent is the highest engine sequence number this peer has
 	// acknowledged; the next round resends everything after it.
 	lastSent uint64
+	// Health: consecutive exchange failures drive alive → suspect → dead;
+	// dead peers are only probed after a growing backoff, so one crashed
+	// peer stops costing every round a full PeerTimeout.
+	state        peerState
+	fails        int
+	probeBackoff time.Duration
+	nextProbe    time.Time
+}
+
+// peerState is a peer's health as judged by consecutive exchange outcomes.
+type peerState int
+
+const (
+	peerAlive peerState = iota
+	peerSuspect
+	peerDead
+)
+
+// String names the state for status reports.
+func (s peerState) String() string {
+	switch s {
+	case peerAlive:
+		return "alive"
+	case peerSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// deadAfterFails is how many consecutive exchange failures demote a peer
+// from suspect to dead.
+const deadAfterFails = 3
+
+// markAliveLocked resets a peer's health after any successful contact.
+// Caller holds dp.mu.
+func (l *peerLink) markAliveLocked() {
+	l.state = peerAlive
+	l.fails = 0
+	l.probeBackoff = 0
+	l.nextProbe = time.Time{}
+}
+
+// markFailedLocked records one failed exchange. After deadAfterFails
+// consecutive failures the peer is dead and further exchanges to it are
+// suppressed until nextProbe, with the probe interval doubling (capped at
+// 8x the exchange interval) while it stays dead. Caller holds dp.mu.
+func (l *peerLink) markFailedLocked(now time.Time, interval time.Duration) {
+	l.fails++
+	if l.fails < deadAfterFails {
+		l.state = peerSuspect
+		return
+	}
+	l.state = peerDead
+	if l.probeBackoff <= 0 {
+		l.probeBackoff = 2 * interval
+	} else {
+		l.probeBackoff *= 2
+		if max := 8 * interval; l.probeBackoff > max {
+			l.probeBackoff = max
+		}
+	}
+	l.nextProbe = now.Add(l.probeBackoff)
 }
 
 // New builds a decision point (not yet listening).
@@ -139,6 +207,10 @@ func (dp *DecisionPoint) registerHandlers() {
 		return ReportReply{OK: true}, nil
 	})
 	wire.Handle(dp.server, MethodExchange, func(a ExchangeArgs) (ExchangeReply, error) {
+		// Hearing from a peer proves it is up — this is how a restarted
+		// decision point's first outbound exchange revives its link at
+		// every peer without waiting out their probe backoff.
+		dp.markPeerAlive(a.From)
 		merged := dp.engine.MergeRemote(a.Dispatches)
 		for _, e := range a.USLAs {
 			// Under usage-and-USLAs dissemination, remote entries are
@@ -151,6 +223,10 @@ func (dp *DecisionPoint) registerHandlers() {
 	})
 	wire.Handle(dp.server, MethodStatus, func(StatusArgs) (StatusReply, error) {
 		return dp.Status(), nil
+	})
+	wire.Handle(dp.server, MethodSnapshot, func(a SnapshotArgs) (SnapshotReply, error) {
+		dp.markPeerAlive(a.From)
+		return SnapshotReply{From: dp.cfg.Name, Dispatches: dp.engine.ExportSnapshot()}, nil
 	})
 	wire.Handle(dp.server, MethodProposeAgreement, func(a ProposeArgs) (ProposeReply, error) {
 		agreement, err := usla.ParseAgreementXML(a.AgreementXML)
@@ -219,10 +295,39 @@ func (dp *DecisionPoint) registerHandlers() {
 	})
 }
 
+// markPeerAlive resets the health of the named peer after inbound proof
+// of life (an exchange or snapshot request it sent us). Unknown names are
+// ignored (clients also carry From-less traffic).
+func (dp *DecisionPoint) markPeerAlive(name string) {
+	if name == "" {
+		return
+	}
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	if l, ok := dp.peers[name]; ok {
+		l.markAliveLocked()
+	}
+}
+
 // Status assembles the decision point's self-report.
 func (dp *DecisionPoint) Status() StatusReply {
 	es := dp.engine.Stats()
-	ss := dp.server.Stats()
+	dp.mu.Lock()
+	server := dp.server
+	peers := make([]PeerHealth, 0, len(dp.peers))
+	for _, l := range dp.peers {
+		peers = append(peers, PeerHealth{
+			Name:             l.name,
+			State:            l.state.String(),
+			ConsecutiveFails: l.fails,
+		})
+	}
+	dp.mu.Unlock()
+	sort.Slice(peers, func(i, j int) bool { return peers[i].Name < peers[j].Name })
+	var ss wire.Stats
+	if server != nil {
+		ss = server.Stats()
+	}
 	observed, capacity, saturated := dp.detector.Assess(ss)
 	return StatusReply{
 		Name:             dp.cfg.Name,
@@ -237,6 +342,7 @@ func (dp *DecisionPoint) Status() StatusReply {
 		Saturated:        saturated,
 		ObservedRate:     observed,
 		CapacityRate:     capacity,
+		Peers:            peers,
 		At:               dp.cfg.Clock.Now(),
 	}
 }
@@ -253,16 +359,23 @@ func (dp *DecisionPoint) AddPeer(name, node, addr string) {
 		return
 	}
 	dp.peers[name] = &peerLink{
-		name: name,
-		client: wire.NewClient(wire.ClientConfig{
-			Node:       dp.cfg.Node,
-			ServerNode: node,
-			Addr:       addr,
-			Transport:  dp.cfg.Transport,
-			Network:    dp.cfg.Network,
-			Clock:      dp.cfg.Clock,
-		}),
+		name:   name,
+		node:   node,
+		addr:   addr,
+		client: dp.newPeerClient(node, addr),
 	}
+}
+
+// newPeerClient builds the wire client for one peer link.
+func (dp *DecisionPoint) newPeerClient(node, addr string) *wire.Client {
+	return wire.NewClient(wire.ClientConfig{
+		Node:       dp.cfg.Node,
+		ServerNode: node,
+		Addr:       addr,
+		Transport:  dp.cfg.Transport,
+		Network:    dp.cfg.Network,
+		Clock:      dp.cfg.Clock,
+	})
 }
 
 // Peers lists the registered peer names.
@@ -277,12 +390,23 @@ func (dp *DecisionPoint) Peers() []string {
 }
 
 // Start begins listening and, unless the strategy is NoExchange, starts
-// the periodic exchange loop.
+// the periodic exchange loop. Start after Stop brings the decision point
+// back: wire servers and clients are single-use (Close is terminal), so a
+// restart builds fresh ones on the same name, node and address.
 func (dp *DecisionPoint) Start() error {
 	dp.mu.Lock()
 	defer dp.mu.Unlock()
 	if dp.started {
 		return fmt.Errorf("digruber: decision point %s already started", dp.cfg.Name)
+	}
+	if dp.server == nil {
+		dp.server = wire.NewServer(dp.cfg.Node, dp.cfg.Profile, dp.cfg.Clock)
+		dp.registerHandlers()
+	}
+	for _, link := range dp.peers {
+		if link.client == nil {
+			link.client = dp.newPeerClient(link.node, link.addr)
+		}
 	}
 	l, err := dp.cfg.Transport.Listen(dp.cfg.Addr)
 	if err != nil {
@@ -291,7 +415,11 @@ func (dp *DecisionPoint) Start() error {
 	dp.listener = l
 	dp.started = true
 	dp.done = make(chan struct{})
-	go dp.server.Serve(l)
+	dp.serveDone = make(chan struct{})
+	go func(srv *wire.Server, l wire.Listener, served chan struct{}) {
+		srv.Serve(l)
+		close(served)
+	}(dp.server, l, dp.serveDone)
 	if dp.cfg.Strategy != NoExchange {
 		dp.ticker = dp.cfg.Clock.NewTicker(dp.cfg.ExchangeInterval)
 		go dp.exchangeLoop(dp.ticker, dp.done)
@@ -315,13 +443,21 @@ func (dp *DecisionPoint) exchangeLoop(ticker vtime.Ticker, done chan struct{}) {
 // normally run off the interval ticker; tests and reconfiguration logic
 // call this directly.
 func (dp *DecisionPoint) ExchangeNow() int {
+	now := dp.cfg.Clock.Now()
 	dp.mu.Lock()
 	links := make([]*peerLink, 0, len(dp.peers))
 	for _, l := range dp.peers {
+		if l.client == nil {
+			continue // stopped
+		}
+		if l.state == peerDead && now.Before(l.nextProbe) {
+			continue // dead; not due for a probe yet
+		}
 		links = append(links, l)
 	}
 	strategy := dp.cfg.Strategy
 	timeout := dp.cfg.PeerTimeout
+	interval := dp.cfg.ExchangeInterval
 	dp.mu.Unlock()
 
 	if strategy == NoExchange {
@@ -333,7 +469,11 @@ func (dp *DecisionPoint) ExchangeNow() int {
 		link := link
 		dp.mu.Lock()
 		cursor := link.lastSent
+		client := link.client
 		dp.mu.Unlock()
+		if client == nil {
+			continue // Stop raced us
+		}
 		// The engine assigns sequence numbers under its own lock, so the
 		// (batch, hi) pair is exact: acknowledging hi never skips a
 		// record whose append lost a race with this read.
@@ -345,15 +485,19 @@ func (dp *DecisionPoint) ExchangeNow() int {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := wire.Call[ExchangeArgs, ExchangeReply](link.client, MethodExchange, args, timeout); err == nil {
-				dp.mu.Lock()
+			_, err := wire.Call[ExchangeArgs, ExchangeReply](client, MethodExchange, args, timeout)
+			dp.mu.Lock()
+			if err == nil {
+				link.markAliveLocked()
 				if hi > link.lastSent {
 					link.lastSent = hi
 				}
-				dp.mu.Unlock()
+			} else {
+				link.markFailedLocked(dp.cfg.Clock.Now(), interval)
 			}
-			// On failure the batch is retransmitted next round; the
-			// receiver's JobID dedup makes that harmless.
+			dp.mu.Unlock()
+			// On failure the batch is retransmitted next round (or next
+			// probe); the receiver's JobID dedup makes that harmless.
 		}()
 		sent += len(batch)
 	}
@@ -382,27 +526,114 @@ func (dp *DecisionPoint) ExchangeRounds() int {
 	return dp.rounds
 }
 
-// Stop shuts the decision point down.
+// Stop shuts the decision point down: the exchange loop exits, the
+// server and listener close, peer clients close, and the serve goroutine
+// is awaited so nothing of this incarnation outlives the call. Stop is
+// idempotent, and Start may be called again afterwards (restart).
 func (dp *DecisionPoint) Stop() {
 	dp.mu.Lock()
-	if !dp.started || dp.stopped {
+	if !dp.started {
 		dp.mu.Unlock()
 		return
 	}
-	dp.stopped = true
+	dp.started = false
 	if dp.ticker != nil {
 		dp.ticker.Stop()
+		dp.ticker = nil
 	}
 	close(dp.done)
+	server := dp.server
+	dp.server = nil
 	listener := dp.listener
-	peers := dp.peers
+	dp.listener = nil
+	serveDone := dp.serveDone
+	clients := make([]*wire.Client, 0, len(dp.peers))
+	for _, p := range dp.peers {
+		if p.client != nil {
+			clients = append(clients, p.client)
+			p.client = nil
+		}
+	}
 	dp.mu.Unlock()
 
-	dp.server.Close()
+	server.Close()
 	if listener != nil {
 		listener.Close()
 	}
-	for _, p := range peers {
-		p.client.Close()
+	for _, c := range clients {
+		c.Close()
 	}
+	if serveDone != nil {
+		<-serveDone
+	}
+}
+
+// Crash models a broker process dying: the decision point stops serving
+// AND loses its dynamic state — the engine's dispatch views, dedup set
+// and exchange log, plus the per-peer exchange cursors and health. The
+// engine's site baseline survives (static knowledge is re-bootstrapped
+// from configuration on restart, per the paper's dissemination model).
+func (dp *DecisionPoint) Crash() {
+	dp.Stop()
+	dp.engine.DropDynamicState()
+	dp.mu.Lock()
+	for _, l := range dp.peers {
+		l.lastSent = 0
+		l.markAliveLocked()
+	}
+	dp.mu.Unlock()
+}
+
+// Restart brings a stopped or crashed decision point back: it starts
+// serving again and then pulls a full state snapshot from the first
+// reachable peer, so its view converges immediately instead of waiting
+// for dispatch records to drift in over exchange rounds.
+func (dp *DecisionPoint) Restart() error {
+	if err := dp.Start(); err != nil {
+		return err
+	}
+	dp.ResyncFromPeers()
+	return nil
+}
+
+// ResyncFromPeers asks peers (in deterministic name order) for a full
+// snapshot and imports the first one that answers. It returns the number
+// of dispatches imported and the donor's name ("" when no peer answered —
+// the decision point then rebuilds gradually from incoming exchanges).
+func (dp *DecisionPoint) ResyncFromPeers() (int, string) {
+	dp.mu.Lock()
+	names := make([]string, 0, len(dp.peers))
+	for name := range dp.peers {
+		names = append(names, name)
+	}
+	timeout := dp.cfg.PeerTimeout
+	dp.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		dp.mu.Lock()
+		link := dp.peers[name]
+		var client *wire.Client
+		if link != nil {
+			client = link.client
+		}
+		dp.mu.Unlock()
+		if client == nil {
+			continue
+		}
+		reply, err := wire.Call[SnapshotArgs, SnapshotReply](client, MethodSnapshot, SnapshotArgs{From: dp.cfg.Name}, timeout)
+		dp.mu.Lock()
+		if link != nil {
+			if err == nil {
+				link.markAliveLocked()
+			} else {
+				link.markFailedLocked(dp.cfg.Clock.Now(), dp.cfg.ExchangeInterval)
+			}
+		}
+		dp.mu.Unlock()
+		if err != nil {
+			continue
+		}
+		return dp.engine.ImportSnapshot(reply.Dispatches), name
+	}
+	return 0, ""
 }

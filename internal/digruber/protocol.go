@@ -43,6 +43,10 @@ const (
 	// USLA knowledge as agreements, for consumers to "access and
 	// interpret USLA statements published by providers".
 	MethodPublishedAgreements = "DIGRUBER.PublishedAgreements"
+	// MethodSnapshot is the anti-entropy path: a decision point rejoining
+	// after a crash pulls one peer's full unexpired dispatch view instead
+	// of waiting for records to drift in over incremental exchanges.
+	MethodSnapshot = "DIGRUBER.Snapshot"
 )
 
 // ProposeArgs carries one agreement document (XML, as a WS-Agreement
@@ -123,6 +127,29 @@ type ExchangeReply struct {
 	Merged int
 }
 
+// SnapshotArgs requests a full state snapshot; From names the requester
+// so the donor can mark that peer alive again.
+type SnapshotArgs struct {
+	From string
+}
+
+// SnapshotReply carries the donor's complete unexpired dispatch view, in
+// deterministic order. Unlike ExchangeArgs it is not filtered by origin:
+// the requester is assumed to have lost everything.
+type SnapshotReply struct {
+	From       string
+	Dispatches []gruber.Dispatch
+}
+
+// PeerHealth is one mesh link's health as seen from a decision point.
+type PeerHealth struct {
+	Name string
+	// State is "alive", "suspect" or "dead".
+	State string
+	// ConsecutiveFails counts exchange failures since the last success.
+	ConsecutiveFails int
+}
+
 // StatusArgs requests a decision point's self-assessment.
 type StatusArgs struct{}
 
@@ -146,6 +173,8 @@ type StatusReply struct {
 	ObservedRate float64
 	// CapacityRate is the DiPerF-calibrated sustainable rate (req/s).
 	CapacityRate float64
+	// Peers reports the health of every mesh link, sorted by peer name.
+	Peers []PeerHealth
 	// At is the decision point's local (virtual) time of the report.
 	At time.Time
 }

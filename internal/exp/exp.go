@@ -43,6 +43,11 @@ type Scale struct {
 	Speedup float64
 	// Window is the aggregation window for curves.
 	Window time.Duration
+	// Seed drives all randomness when a scenario doesn't set its own;
+	// zero falls back to the default seed (1). Re-running any experiment
+	// with the same seed replays the same fault schedules and workload
+	// draws (cmd/experiments -seed).
+	Seed int64
 }
 
 // FullScale reproduces the paper's environment: a grid ten times Grid3

@@ -35,6 +35,7 @@ func extensionExperiments() []Experiment {
 		{ID: "ext-dynamic-live", Title: "Extension: live dynamic decision-point provisioning", Run: runDynamicLiveExtension},
 		{ID: "ext-lan", Title: "Extension: LAN vs WAN deployment", Run: runLANExtension},
 		{ID: "ext-trace-replay", Title: "Extension: GRUB-SIM replaying a live-run trace", Run: runTraceReplayExtension},
+		{ID: "ext-failure", Title: "Extension: broker crash-recovery under a seeded fault plane", Run: runFailureExtension},
 	}
 }
 

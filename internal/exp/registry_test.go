@@ -14,7 +14,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 		"tab1", "tab2", "tab3",
 		"ablation-dissemination", "ablation-topology", "ablation-selector", "ablation-timeout",
-		"ext-coupling", "ext-gt4c", "ext-dynamic-live", "ext-lan", "ext-trace-replay",
+		"ext-coupling", "ext-gt4c", "ext-dynamic-live", "ext-lan", "ext-trace-replay", "ext-failure",
 	}
 	for _, id := range want {
 		e, ok := Lookup(id)

@@ -61,6 +61,27 @@ type ScenarioConfig struct {
 	// "least-recently-used" (the paper's example task assignment
 	// policies; swept by the selector ablation).
 	SelectorName string
+	// Faults optionally schedules broker crashes mid-run (the chaos
+	// extension). The schedule is drawn from Seed, so the same seed
+	// replays the same victims and windows.
+	Faults *FaultConfig
+}
+
+// FaultConfig schedules a seeded crash-and-heal wave against the
+// decision-point fleet. Each victim's node is severed on the fault plane
+// (in-flight traffic blackholes) and its broker process crashes (loses
+// dynamic state); at the heal point the broker restarts and resyncs via
+// the snapshot RPC. Clients get a failover chain over the remaining
+// brokers, so the run measures DI-GRUBER's reliability claim end to end.
+type FaultConfig struct {
+	// CrashDPs is how many decision points crash (capped at DPs-1 so a
+	// snapshot donor always survives).
+	CrashDPs int
+	// CrashAt is when (offset from run start) the crash wave lands;
+	// default 2/5 of the run.
+	CrashAt time.Duration
+	// HealAt is when crashed brokers restart; default 3/5 of the run.
+	HealAt time.Duration
 }
 
 func (c *ScenarioConfig) setDefaults() error {
@@ -83,7 +104,21 @@ func (c *ScenarioConfig) setDefaults() error {
 		c.Interarrival = 5 * time.Second
 	}
 	if c.Seed == 0 {
+		c.Seed = c.Scale.Seed
+	}
+	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Faults != nil {
+		if c.Faults.CrashAt <= 0 {
+			c.Faults.CrashAt = c.Scale.Duration * 2 / 5
+		}
+		if c.Faults.HealAt <= c.Faults.CrashAt {
+			c.Faults.HealAt = c.Faults.CrashAt + c.Scale.Duration/5
+		}
+		if c.Faults.CrashDPs >= c.DPs {
+			c.Faults.CrashDPs = c.DPs - 1
+		}
 	}
 	if c.Profile.Name == "" {
 		c.Profile = wire.GT3()
@@ -209,6 +244,59 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		}
 	}()
 
+	// --- seeded fault plane: crash-and-heal wave against the fleet ---
+	if f := cfg.Faults; f != nil && f.CrashDPs > 0 {
+		faults := netsim.NewFaultPlane()
+		network.SetFaults(faults)
+		nodes := make([]string, cfg.DPs)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("dp-node-%d", i)
+		}
+		// Victims and sub-window jitter are drawn from the run seed: the
+		// same seed replays the same outage, bit for bit.
+		spread := cfg.Scale.Duration/100 + time.Second
+		schedule := netsim.RandomCrashes(cfg.Seed, cfg.Name, nodes, f.CrashDPs,
+			f.CrashAt, f.CrashAt+spread, f.HealAt-f.CrashAt, f.HealAt-f.CrashAt+spread)
+		faults.Apply(Epoch, schedule)
+
+		var faultMu sync.Mutex
+		scenarioDone := false
+		var timers []vtime.Timer
+		for _, cr := range schedule {
+			var idx int
+			if _, err := fmt.Sscanf(cr.Node, "dp-node-%d", &idx); err != nil {
+				return ScenarioResult{}, fmt.Errorf("exp: bad crash node %q", cr.Node)
+			}
+			dp := dps[idx]
+			timers = append(timers, clock.AfterFunc(cr.From, func() { dp.Crash() }))
+			timers = append(timers, clock.AfterFunc(cr.Until, func() {
+				faultMu.Lock()
+				done := scenarioDone
+				faultMu.Unlock()
+				if done {
+					return
+				}
+				_ = dp.Restart()
+				// If teardown raced the restart, undo it.
+				faultMu.Lock()
+				if scenarioDone {
+					dp.Stop()
+				}
+				faultMu.Unlock()
+			}))
+		}
+		// Registered after the fleet-stop defer, so it runs first: no
+		// fault timer may fire (or leave a broker running) after return.
+		defer func() {
+			faultMu.Lock()
+			scenarioDone = true
+			faultMu.Unlock()
+			for _, tm := range timers {
+				tm.Stop()
+			}
+		}()
+	}
+
 	// --- clients, statically bound round-robin over decision points ---
 	clients := make([]*digruber.Client, cfg.Clients)
 	for t := range clients {
@@ -216,6 +304,21 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		sel, err := selectorByName(cfg.SelectorName, cfg.Seed, t)
 		if err != nil {
 			return ScenarioResult{}, err
+		}
+		// Under a fault schedule every client also carries a failover
+		// chain: the remaining brokers in ring order from its primary. A
+		// client whose broker dies rebinds after a few failures instead of
+		// paying a timeout plus random fallback for every remaining job.
+		var failover []digruber.DPRef
+		if cfg.Faults != nil {
+			for k := 1; k < cfg.DPs; k++ {
+				j := (dpIdx + k) % cfg.DPs
+				failover = append(failover, digruber.DPRef{
+					Name: dps[j].Name(),
+					Node: fmt.Sprintf("dp-node-%d", j),
+					Addr: dps[j].Addr(),
+				})
+			}
 		}
 		c, err := digruber.NewClient(digruber.ClientConfig{
 			Selector:      sel,
@@ -231,6 +334,7 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 			Timeout:       cfg.Timeout,
 			FallbackSites: siteNames,
 			RNG:           netsim.Stream(cfg.Seed, fmt.Sprintf("exp.fallback/%d", t)),
+			Failover:      failover,
 		})
 		if err != nil {
 			return ScenarioResult{}, err

@@ -1,0 +1,102 @@
+package gruber
+
+import (
+	"sort"
+	"time"
+)
+
+// This file is the anti-entropy side of the dissemination model. The
+// periodic exchange is incremental — each decision point floods only its
+// own new dispatches — so a decision point that crashes and loses its
+// dynamic state cannot catch up from the incremental stream alone: the
+// records it missed were "after" cursors it no longer holds. Snapshot
+// export/import closes that gap: a rejoining point pulls one peer's full
+// unexpired view and is immediately as informed as that peer.
+
+// ExportSnapshot returns every unexpired dispatch in the engine's view,
+// in deterministic order (dispatch time, then JobID). Unlike the
+// incremental exchange payload it is NOT filtered to locally-brokered
+// records: the requester is assumed to have lost everything, including
+// records this engine originally learned from the requester itself.
+func (e *Engine) ExportSnapshot() []Dispatch {
+	now := e.clock.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []Dispatch
+	for _, name := range e.order {
+		sv := e.sites[name]
+		sv.pruneLocked(now, &e.stats)
+		out = append(out, sv.pending...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].At.Equal(out[j].At) {
+			return out[i].At.Before(out[j].At)
+		}
+		return out[i].JobID < out[j].JobID
+	})
+	return out
+}
+
+// ImportSnapshot folds a peer's full view into this engine. It differs
+// from MergeRemote in one deliberate way: records whose Origin is this
+// engine are NOT skipped — after a crash this engine has lost its own
+// brokering history too, and the snapshot is how it gets it back. Seen
+// JobIDs are still deduplicated, so importing on a healthy engine (or
+// importing two overlapping snapshots) is idempotent. Returns the number
+// of dispatches folded into site views.
+func (e *Engine) ImportSnapshot(dispatches []Dispatch) int {
+	now := e.clock.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	merged := 0
+	for _, d := range dispatches {
+		if !e.markSeenLocked(d) {
+			continue
+		}
+		e.stats.RemoteDispatches++
+		if d.Expired(now) {
+			continue
+		}
+		if sv, ok := e.sites[d.Site]; ok {
+			sv.applyLocked(d)
+			merged++
+		}
+	}
+	return merged
+}
+
+// DropDynamicState models a crash: everything the engine learned from
+// scheduling decisions — pending dispatches, the dedup set, the local
+// exchange log and its sequence numbering — is discarded. The site
+// baseline survives, standing in for the paper's "complete static
+// knowledge about available resources", which a restarting decision
+// point re-bootstraps from configuration rather than from peers.
+// Cumulative stats counters are kept (they describe the process, not
+// the state).
+func (e *Engine) DropDynamicState() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, sv := range e.sites {
+		sv.pending = nil
+		sv.usedDelta = 0
+		sv.usageDelta = make(map[string]int)
+	}
+	e.seen = make(map[string]time.Time)
+	e.local = nil
+	e.localDropped = 0
+}
+
+// PendingDispatches reports how many unexpired dispatches the engine
+// currently tracks across all sites — a convergence probe for tests and
+// status reporting.
+func (e *Engine) PendingDispatches() int {
+	now := e.clock.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, sv := range e.sites {
+		sv.pruneLocked(now, &e.stats)
+		n += len(sv.pending)
+	}
+	return n
+}

@@ -1,0 +1,175 @@
+package netsim
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// FaultPlane schedules deterministic failures over the emulated network:
+// link outages, network partitions, and per-node crash windows. Every
+// fault is a [From, Until) window in virtual time, so the same schedule
+// against the same vtime.Clock replays a chaos run exactly — the fault
+// plane holds no randomness of its own. Seeded schedules come from
+// generators like RandomCrashes, which draw from a named Stream and are
+// therefore bit-for-bit reproducible from (seed, name).
+//
+// A FaultPlane is attached to a Network with SetFaults; from then on
+// Network.LostMsg consults it for every message. It is safe for
+// concurrent use; windows may be added while traffic flows.
+type FaultPlane struct {
+	mu         sync.Mutex
+	links      map[[2]string][]window
+	partitions []partition
+	crashes    map[string][]window
+}
+
+// window is a half-open [from, until) virtual-time interval.
+type window struct {
+	from, until time.Time
+}
+
+func (w window) contains(t time.Time) bool {
+	return !t.Before(w.from) && t.Before(w.until)
+}
+
+// partition splits the node set in two: members of side vs everyone
+// else. Messages crossing the split are lost while the window is open.
+type partition struct {
+	side map[string]bool
+	win  window
+}
+
+// NewFaultPlane returns an empty fault plane (everything healthy).
+func NewFaultPlane() *FaultPlane {
+	return &FaultPlane{
+		links:   make(map[[2]string][]window),
+		crashes: make(map[string][]window),
+	}
+}
+
+// CutLink schedules an outage of the (a, b) link: messages in either
+// direction are lost during [from, until).
+func (f *FaultPlane) CutLink(a, b string, from, until time.Time) {
+	key := pairKey(a, b)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.links[key] = append(f.links[key], window{from, until})
+}
+
+// Partition schedules a network split: during [from, until), messages
+// between a member of side and any non-member are lost. Traffic within
+// either half still flows; the split heals when the window closes.
+func (f *FaultPlane) Partition(side []string, from, until time.Time) {
+	members := make(map[string]bool, len(side))
+	for _, n := range side {
+		members[n] = true
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.partitions = append(f.partitions, partition{side: members, win: window{from, until}})
+}
+
+// CrashNode schedules a crash window for one node: during [from, until)
+// every message to or from it is lost, as the dead host answers nothing.
+// The process-level consequences (a broker losing its in-memory state)
+// are the caller's to model — see digruber.DecisionPoint.Crash.
+func (f *FaultPlane) CrashNode(node string, from, until time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashes[node] = append(f.crashes[node], window{from, until})
+}
+
+// Down reports whether node is inside one of its crash windows at now.
+func (f *FaultPlane) Down(node string, now time.Time) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, w := range f.crashes[node] {
+		if w.contains(now) {
+			return true
+		}
+	}
+	return false
+}
+
+// Severed reports whether a message between from and to at virtual time
+// now is lost to a fault: a cut link, an open partition between them, or
+// either endpoint being crashed.
+func (f *FaultPlane) Severed(from, to string, now time.Time) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, w := range f.crashes[from] {
+		if w.contains(now) {
+			return true
+		}
+	}
+	for _, w := range f.crashes[to] {
+		if w.contains(now) {
+			return true
+		}
+	}
+	for _, w := range f.links[pairKey(from, to)] {
+		if w.contains(now) {
+			return true
+		}
+	}
+	for _, p := range f.partitions {
+		if p.win.contains(now) && p.side[from] != p.side[to] {
+			return true
+		}
+	}
+	return false
+}
+
+// Crash is one entry of a generated chaos schedule: node goes down at
+// From and comes back at Until (offsets from the run's epoch).
+type Crash struct {
+	Node        string
+	From, Until time.Duration
+}
+
+// RandomCrashes derives a replayable crash schedule from a named stream:
+// n distinct victims drawn from nodes, each with a crash start uniform
+// in [earliest, latest) and a downtime uniform in [minDown, maxDown).
+// The same (seed, name, arguments) always yields the same schedule; the
+// input node order matters, so callers should pass a stable slice.
+func RandomCrashes(seed int64, name string, nodes []string, n int, earliest, latest, minDown, maxDown time.Duration) []Crash {
+	if n > len(nodes) {
+		n = len(nodes)
+	}
+	if n <= 0 {
+		return nil
+	}
+	rng := Stream(seed, "netsim.crashes/"+name)
+	// Partial Fisher-Yates over a copy picks n distinct victims.
+	pool := append([]string(nil), nodes...)
+	out := make([]Crash, 0, n)
+	for i := 0; i < n; i++ {
+		j := i + rng.Intn(len(pool)-i)
+		pool[i], pool[j] = pool[j], pool[i]
+		from := earliest
+		if latest > earliest {
+			from = earliest + time.Duration(rng.Int63n(int64(latest-earliest)))
+		}
+		down := minDown
+		if maxDown > minDown {
+			down = minDown + time.Duration(rng.Int63n(int64(maxDown-minDown)))
+		}
+		out = append(out, Crash{Node: pool[i], From: from, Until: from + down})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// Apply installs the schedule's crash windows on the fault plane,
+// anchored at epoch.
+func (f *FaultPlane) Apply(epoch time.Time, schedule []Crash) {
+	for _, c := range schedule {
+		f.CrashNode(c.Node, epoch.Add(c.From), epoch.Add(c.Until))
+	}
+}

@@ -76,6 +76,7 @@ type Network struct {
 	mu     sync.Mutex
 	bases  map[[2]string]time.Duration
 	jitter *rand.Rand
+	faults *FaultPlane
 }
 
 // New returns a Network over the given profile with a deterministic seed.
@@ -139,6 +140,36 @@ func (n *Network) Lost() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.jitter.Float64() < n.profile.LossProb
+}
+
+// SetFaults attaches a fault plane; LostMsg consults it from then on.
+// Passing nil detaches it.
+func (n *Network) SetFaults(f *FaultPlane) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults = f
+}
+
+// Faults returns the attached fault plane (nil when none).
+func (n *Network) Faults() *FaultPlane {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.faults
+}
+
+// LostMsg reports whether a single message from one node to another at
+// virtual time now is lost: severed by a scheduled fault, or dropped by
+// the profile's background loss probability. The fault check comes
+// first and draws no randomness, so fault windows never perturb the
+// jitter stream of the healthy portion of a run.
+func (n *Network) LostMsg(from, to string, now time.Time) bool {
+	n.mu.Lock()
+	f := n.faults
+	n.mu.Unlock()
+	if f != nil && f.Severed(from, to, now) {
+		return true
+	}
+	return n.Lost()
 }
 
 // TransferTime estimates how long moving size bytes between two nodes

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ type Client struct {
 	transport  Transport
 	network    *netsim.Network
 	clock      vtime.Clock
+	retry      RetryPolicy
 
 	mu      sync.Mutex
 	conn    Conn
@@ -50,6 +52,63 @@ type ClientConfig struct {
 	Transport Transport
 	Network   *netsim.Network
 	Clock     vtime.Clock
+	// Retry optionally retries fast-failing calls (refused, connection
+	// lost, shed). The zero value disables retry.
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds automatic retry of failed calls. Only failures the
+// client observes quickly and that a fresh attempt can plausibly cure
+// are retried — FailureRefused, FailureLost and FailureOverload.
+// Timeouts are never retried: the caller already paid its full deadline
+// and its own degradation path (DI-GRUBER's random fallback) owns what
+// happens next.
+type RetryPolicy struct {
+	// Attempts is the total number of tries including the first;
+	// values <= 1 disable retry.
+	Attempts int
+	// BaseBackoff is the pause before the second attempt; it doubles on
+	// each further retry, capped at MaxBackoff (default 8x BaseBackoff).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterFrac in [0, 1] extends each backoff by a uniform draw in
+	// [0, JitterFrac*backoff), decorrelating retry storms. Jitter
+	// supplies the randomness (a netsim.Stream keeps it replayable);
+	// with Jitter nil no jitter is applied.
+	JitterFrac float64
+	Jitter     interface{ Float64() float64 }
+}
+
+// enabled reports whether the policy retries at all.
+func (p RetryPolicy) enabled() bool { return p.Attempts > 1 }
+
+// retryable reports whether a failure class is worth another attempt.
+func (p RetryPolicy) retryable(err error) bool {
+	switch Classify(err) {
+	case FailureRefused, FailureLost, FailureOverload:
+		return true
+	default:
+		return false
+	}
+}
+
+// backoff computes the pause before attempt n (n=1 is the first retry).
+func (p RetryPolicy) backoff(n int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < n; i++ {
+		d *= 2
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 8 * p.BaseBackoff
+	}
+	if d > max {
+		d = max
+	}
+	if p.JitterFrac > 0 && p.Jitter != nil && d > 0 {
+		d += time.Duration(p.Jitter.Float64() * p.JitterFrac * float64(d))
+	}
+	return d
 }
 
 // NewClient returns a client; it dials lazily on first call.
@@ -61,6 +120,7 @@ func NewClient(cfg ClientConfig) *Client {
 		transport:  cfg.Transport,
 		network:    cfg.Network,
 		clock:      cfg.Clock,
+		retry:      cfg.Retry,
 		pending:    make(map[uint64]chan frame),
 	}
 }
@@ -81,7 +141,7 @@ func (c *Client) ensureConn() error {
 	}
 	conn, err := c.transport.Dial(c.addr)
 	if err != nil {
-		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
+		return fmt.Errorf("%w: dial %s: %v", ErrRefused, c.addr, err)
 	}
 	c.conn = conn
 	c.enc = gob.NewEncoder(conn)
@@ -123,15 +183,40 @@ func (c *Client) dropConn(conn Conn, cause error) {
 	c.mu.Unlock()
 	_ = conn.Close()
 	for _, ch := range orphans {
-		ch <- frame{Err: fmt.Sprintf("wire: connection lost: %v", cause)}
+		ch <- frame{Err: connLostPrefix + cause.Error()}
 	}
 }
+
+// connLostPrefix marks locally-synthesized failure frames from dropConn
+// so Call can map them back to the ErrConnLost sentinel. It never
+// crosses the wire.
+const connLostPrefix = "wire: connection lost: "
 
 // Call performs one RPC with the given timeout. body is the gob-encoded
 // request; the returned bytes are the gob-encoded response. On timeout it
 // returns ErrTimeout — the caller's fallback logic (random site
-// selection) takes over from there.
+// selection) takes over from there. Errors carry a FailureClass (see
+// Classify); when a RetryPolicy is configured, fast retryable failures
+// are re-attempted with exponential backoff before surfacing.
 func (c *Client) Call(method string, body []byte, timeout time.Duration) ([]byte, error) {
+	resp, err := c.callOnce(method, body, timeout)
+	if err == nil || !c.retry.enabled() {
+		return resp, err
+	}
+	for attempt := 1; attempt < c.retry.Attempts && c.retry.retryable(err); attempt++ {
+		if d := c.retry.backoff(attempt); d > 0 {
+			c.clock.Sleep(d)
+		}
+		resp, err = c.callOnce(method, body, timeout)
+		if err == nil {
+			return resp, nil
+		}
+	}
+	return resp, err
+}
+
+// callOnce is a single RPC attempt.
+func (c *Client) callOnce(method string, body []byte, timeout time.Duration) ([]byte, error) {
 	start := c.clock.Now()
 	deadline := start.Add(timeout)
 
@@ -141,7 +226,7 @@ func (c *Client) Call(method string, body []byte, timeout time.Duration) ([]byte
 		if d > 0 {
 			c.clock.Sleep(d)
 		}
-		if c.network.Lost() {
+		if c.network.LostMsg(c.node, c.serverNode, c.clock.Now()) {
 			// The request vanished in the WAN; all the client observes is
 			// silence until its timeout.
 			c.sleepUntil(deadline)
@@ -168,7 +253,7 @@ func (c *Client) Call(method string, body []byte, timeout time.Duration) ([]byte
 	if err != nil {
 		c.forget(id)
 		c.dropConn(conn, err)
-		return nil, fmt.Errorf("wire: send: %w", err)
+		return nil, fmt.Errorf("%w: send: %v", ErrConnLost, err)
 	}
 
 	remaining := deadline.Sub(c.clock.Now())
@@ -179,14 +264,17 @@ func (c *Client) Call(method string, body []byte, timeout time.Duration) ([]byte
 	select {
 	case f := <-ch:
 		if f.Err != "" {
-			if f.Err == ErrOverloaded.Error() {
+			switch {
+			case f.Err == ErrOverloaded.Error():
 				return nil, ErrOverloaded
+			case strings.HasPrefix(f.Err, connLostPrefix):
+				return nil, fmt.Errorf("%w: %s", ErrConnLost, strings.TrimPrefix(f.Err, connLostPrefix))
 			}
 			return nil, errors.New(f.Err)
 		}
 		// Inbound WAN propagation.
 		if c.network != nil {
-			if c.network.Lost() {
+			if c.network.LostMsg(c.serverNode, c.node, c.clock.Now()) {
 				c.sleepUntil(deadline)
 				return nil, ErrTimeout
 			}

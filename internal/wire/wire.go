@@ -23,7 +23,17 @@ import (
 	"fmt"
 )
 
-// Errors surfaced by calls.
+// Errors surfaced by calls. The three failure sentinels distinguish what
+// a caller can infer about the far end — the raw material for failover
+// and retry decisions above this package:
+//
+//   - ErrRefused: the dial itself failed. Nothing is listening; retrying
+//     immediately is cheap and a different replica is likely needed.
+//   - ErrConnLost: an established connection died mid-call. The request
+//     may or may not have executed; idempotent calls can retry.
+//   - ErrTimeout: silence until the deadline. The server may be dead,
+//     the link may be cut, or the answer is merely late — the most
+//     expensive failure to observe and the least informative.
 var (
 	// ErrTimeout reports that the per-call deadline expired before a
 	// response arrived. DI-GRUBER clients react by falling back to random
@@ -34,7 +44,73 @@ var (
 	ErrOverloaded = errors.New("wire: server overloaded")
 	// ErrClosed reports use of a closed client or server.
 	ErrClosed = errors.New("wire: closed")
+	// ErrRefused reports that dialing the server address failed outright.
+	ErrRefused = errors.New("wire: connection refused")
+	// ErrConnLost reports that the connection died while calls were in
+	// flight.
+	ErrConnLost = errors.New("wire: connection lost")
 )
+
+// FailureClass partitions call errors for failover and retry logic.
+type FailureClass int
+
+// Failure classes, from Classify.
+const (
+	// FailureNone is a nil error.
+	FailureNone FailureClass = iota
+	// FailureTimeout is silence until the caller's deadline (ErrTimeout).
+	FailureTimeout
+	// FailureLost is a connection severed mid-call (ErrConnLost).
+	FailureLost
+	// FailureRefused is a failed dial (ErrRefused).
+	FailureRefused
+	// FailureOverload is a shed request (ErrOverloaded).
+	FailureOverload
+	// FailureClosed is use of a closed client (ErrClosed).
+	FailureClosed
+	// FailureOther is an application-level error from the handler.
+	FailureOther
+)
+
+// String names the class.
+func (c FailureClass) String() string {
+	switch c {
+	case FailureNone:
+		return "none"
+	case FailureTimeout:
+		return "timeout"
+	case FailureLost:
+		return "lost"
+	case FailureRefused:
+		return "refused"
+	case FailureOverload:
+		return "overload"
+	case FailureClosed:
+		return "closed"
+	default:
+		return "other"
+	}
+}
+
+// Classify maps a Call error to its failure class.
+func Classify(err error) FailureClass {
+	switch {
+	case err == nil:
+		return FailureNone
+	case errors.Is(err, ErrTimeout):
+		return FailureTimeout
+	case errors.Is(err, ErrConnLost):
+		return FailureLost
+	case errors.Is(err, ErrRefused):
+		return FailureRefused
+	case errors.Is(err, ErrOverloaded):
+		return FailureOverload
+	case errors.Is(err, ErrClosed):
+		return FailureClosed
+	default:
+		return FailureOther
+	}
+}
 
 // frame is the single on-the-wire message type; Kind discriminates
 // requests from responses.
