@@ -1,0 +1,133 @@
+// Command digruber-trace analyzes span records written by the tracing
+// subsystem (internal/trace) — typically the JSONL file produced by
+//
+//	experiments -run ext-trace-breakdown -trace-out trace.jsonl
+//
+// It reassembles the spans into trees, prints the per-phase breakdown
+// of where request time went, verifies that every tree's phases
+// telescope back to its root's end-to-end time, and lists the slowest
+// requests with their dominant phase.
+//
+// Usage:
+//
+//	digruber-trace trace.jsonl
+//	digruber-trace -slow 10 -root client.schedule trace.jsonl
+//	experiments -run ext-trace-breakdown -trace-out /dev/stdout | digruber-trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"digruber/internal/trace"
+)
+
+func main() {
+	var (
+		slow = flag.Int("slow", 5, "number of slowest requests to list")
+		root = flag.String("root", trace.PhaseSchedule, "root span name selecting which trees to analyze")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	src := "stdin"
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: digruber-trace [-slow N] [-root name] [trace.jsonl]")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in, src = f, flag.Arg(0)
+	}
+
+	records, err := trace.ReadJSONL(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reading %s: %v\n", src, err)
+		os.Exit(1)
+	}
+	if len(records) == 0 {
+		fmt.Fprintf(os.Stderr, "%s holds no span records\n", src)
+		os.Exit(1)
+	}
+
+	all := trace.BuildTrees(records)
+	trees := trace.FilterRoots(all, *root)
+	if len(trees) == 0 {
+		fmt.Fprintf(os.Stderr, "%d spans, %d trees, but none rooted at %q — try -root with one of the root names seen:\n", len(records), len(all), *root)
+		seen := map[string]int{}
+		for _, t := range all {
+			seen[t.Root.Name]++
+		}
+		for name, n := range seen {
+			fmt.Fprintf(os.Stderr, "  %-20s %d\n", name, n)
+		}
+		os.Exit(1)
+	}
+
+	var total time.Duration
+	for _, t := range trees {
+		total += t.Duration()
+	}
+	fmt.Printf("%s: %d spans, %d traces, %d rooted at %q (%s total)\n\n",
+		src, len(records), len(all), len(trees), *root, total.Round(time.Millisecond))
+
+	fmt.Printf("%-16s %8s %7s %12s %10s %10s %10s %10s\n",
+		"phase", "spans", "share", "total", "mean", "p50", "p95", "max")
+	for _, p := range trace.PhaseBreakdown(trees) {
+		fmt.Printf("%-16s %8d %6.1f%% %12s %10s %10s %10s %10s\n",
+			p.Name, p.Spans, p.Share*100,
+			p.Total.Round(time.Millisecond),
+			p.Mean.Round(time.Millisecond),
+			p.P50.Round(time.Millisecond),
+			p.P95.Round(time.Millisecond),
+			p.Max.Round(time.Millisecond))
+	}
+
+	// Critical-path check: within each tree the per-phase exclusive
+	// times must sum back to the root's duration.
+	bad := 0
+	var worstResidual time.Duration
+	for _, t := range trees {
+		_, residual := t.Exclusive()
+		if residual < 0 {
+			residual = -residual
+		}
+		if residual > worstResidual {
+			worstResidual = residual
+		}
+		if residual > time.Millisecond {
+			bad++
+		}
+	}
+	fmt.Printf("\ncritical path: %d/%d trees telescope to their root (worst residual %s)\n",
+		len(trees)-bad, len(trees), worstResidual)
+
+	if *slow > 0 {
+		fmt.Printf("\nslowest %d:\n", min(*slow, len(trees)))
+		for _, t := range trace.SlowestN(trees, *slow) {
+			excl, _ := t.Exclusive()
+			var worstName string
+			var worst time.Duration
+			for name, d := range excl {
+				if d > worst || (d == worst && name < worstName) {
+					worst, worstName = d, name
+				}
+			}
+			note := t.Root.Note
+			if note == "" {
+				note = fmt.Sprintf("trace %016x", t.Root.Trace)
+			}
+			fmt.Printf("  %-20s %10s  (%2d spans, %s exclusive %s, actor %s)\n",
+				note, t.Duration().Round(time.Millisecond), t.Spans,
+				worst.Round(time.Millisecond), worstName, t.Root.Actor)
+		}
+	}
+}

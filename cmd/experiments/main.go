@@ -6,16 +6,25 @@
 //	experiments -list
 //	experiments -run fig5,tab1
 //	experiments -run all -scale full
+//	experiments -run fig5 -json > rows.jsonl
+//	experiments -run ext-trace-breakdown -trace-out trace.jsonl
 //
 // The bench scale (default) shrinks the emulated environment so the
 // whole suite finishes in minutes; -scale full reproduces the paper's
 // environment (300 sites / 30,000 CPUs / ~120 clients / one-hour runs,
 // time-compressed).
+//
+// With -json, each experiment's structured result rows are emitted as
+// JSONL on stdout (one object per row, tagged with "experiment") and
+// the human-readable reports move to stderr, so the machine-readable
+// stream stays clean for piping into jq or a plotting script.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -25,10 +34,12 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments and exit")
-		run   = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		scale = flag.String("scale", "bench", "bench or full")
-		seed  = flag.Int64("seed", 0, "replay seed for workload and fault schedules (0 = default)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		run      = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		scale    = flag.String("scale", "bench", "bench or full")
+		seed     = flag.Int64("seed", 0, "replay seed for workload and fault schedules (0 = default)")
+		jsonOut  = flag.Bool("json", false, "emit result rows as JSONL on stdout (text reports go to stderr)")
+		traceOut = flag.String("trace-out", "", "write ext-trace-breakdown's span records as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -50,6 +61,7 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Seed = *seed
+	exp.TraceOutputPath = *traceOut
 
 	var selected []exp.Experiment
 	if *run == "all" {
@@ -66,15 +78,36 @@ func main() {
 		}
 	}
 
+	// Text goes to stdout normally, to stderr under -json so stdout
+	// carries nothing but the JSONL row stream.
+	textOut := io.Writer(os.Stdout)
+	if *jsonOut {
+		textOut = os.Stderr
+	}
+	enc := json.NewEncoder(os.Stdout)
+
 	for _, e := range selected {
 		start := time.Now()
-		fmt.Printf("### %s — %s (scale=%s)\n", e.ID, e.Title, sc.Name)
+		fmt.Fprintf(textOut, "### %s — %s (scale=%s)\n", e.ID, e.Title, sc.Name)
 		report, err := e.Run(sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Println(report)
-		fmt.Printf("[%s completed in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintln(textOut, report.Text)
+		if *jsonOut {
+			for _, row := range report.Rows {
+				out := make(map[string]any, len(row)+1)
+				for k, v := range row {
+					out[k] = v
+				}
+				out["experiment"] = e.ID
+				if err := enc.Encode(out); err != nil {
+					fmt.Fprintf(os.Stderr, "%s: encoding row: %v\n", e.ID, err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Fprintf(textOut, "[%s completed in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"digruber/internal/grid"
 	"digruber/internal/gruber"
 	"digruber/internal/netsim"
+	"digruber/internal/trace"
 	"digruber/internal/vtime"
 	"digruber/internal/wire"
 )
@@ -54,6 +55,11 @@ type ClientConfig struct {
 	// FailoverThreshold is the consecutive-failure count that triggers a
 	// failover rebind (default 3 when Failover is non-empty).
 	FailoverThreshold int
+	// Tracer, when non-nil, opens a client.schedule root span per job and
+	// threads its context through every RPC, so the whole request path —
+	// retries, WAN transits, server queueing, engine work — lands in one
+	// trace. Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 // DPRef names one decision point a client can bind to.
@@ -83,6 +89,10 @@ type Decision struct {
 	Err error
 	// At is when the decision completed.
 	At time.Time
+	// TraceID identifies the request's trace when the client is traced
+	// (zero otherwise) — the join key between DiPerF's per-operation
+	// records and the span tree.
+	TraceID uint64
 }
 
 // Client is the submission-host side of DI-GRUBER: query the assigned
@@ -142,6 +152,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			Transport:  cfg.Transport,
 			Network:    cfg.Network,
 			Clock:      cfg.Clock,
+			Tracer:     cfg.Tracer,
 		}),
 		selector: sel,
 		clock:    cfg.Clock,
@@ -162,36 +173,47 @@ func (c *Client) Schedule(j *grid.Job) Decision {
 	start := c.clock.Now()
 	dec := Decision{JobID: string(j.ID)}
 
+	// The root span opens at the same instant the response-time clock
+	// starts and closes with the same Now() that stamps the decision, so
+	// its duration is exactly dec.Response.
+	root := c.cfg.Tracer.StartTraceAt(trace.PhaseSchedule, start)
+	root.SetNote(string(j.ID))
+	dec.TraceID = root.Context().Trace
+
 	if c.cfg.SingleCall {
-		return c.scheduleSingleCall(j, start, dec)
+		return c.scheduleSingleCall(j, start, dec, root)
 	}
 
 	rpc := c.conn()
-	reply, err := wire.Call[QueryArgs, QueryReply](rpc, MethodQuery,
+	qs := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseQuery)
+	reply, err := wire.CallCtx[QueryArgs, QueryReply](rpc, qs.Context(), MethodQuery,
 		QueryArgs{Owner: j.Owner.String(), CPUs: j.CPUs}, c.cfg.Timeout)
+	qs.End()
 	c.noteOutcome(err)
 	if err != nil {
 		// Graceful degradation: random site, no USLAs, not handled.
+		fs := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseFallback)
 		dec.Site, dec.Err = c.fallback()
+		fs.End()
 		dec.Handled = false
-		dec.Response = c.clock.Since(start)
-		dec.At = c.clock.Now()
-		return dec
+		return c.finish(dec, start, root)
 	}
 
+	sel := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseSelect)
 	site, ok := c.selector.Select(reply.Loads, j.CPUs)
 	if !ok {
 		// The decision point answered but no site qualifies under USLAs;
 		// degrade to random among the reported sites (still counts as
 		// handled — the broker's information was used).
 		site, ok = pickAnyFree(reply.Loads, j.CPUs, c.cfg.RNG)
-		if !ok {
-			dec.Site, dec.Err = c.fallback()
-			dec.Handled = true
-			dec.Response = c.clock.Since(start)
-			dec.At = c.clock.Now()
-			return dec
-		}
+	}
+	sel.End()
+	if !ok {
+		fs := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseFallback)
+		dec.Site, dec.Err = c.fallback()
+		fs.End()
+		dec.Handled = true
+		return c.finish(dec, start, root)
 	}
 
 	// Second round trip: inform the decision point of the selection so
@@ -204,42 +226,57 @@ func (c *Client) Schedule(j *grid.Job) Decision {
 		Runtime: j.Runtime,
 		At:      c.clock.Now(),
 	}}
-	if _, err := wire.Call[ReportArgs, ReportReply](rpc, MethodReport, report, c.remaining(start)); err != nil {
+	rs := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseReport)
+	_, err = wire.CallCtx[ReportArgs, ReportReply](rpc, rs.Context(), MethodReport, report, c.remaining(start))
+	rs.End()
+	if err != nil {
 		// The selection stands; only the bookkeeping was lost.
 		dec.Handled = false
 	} else {
 		dec.Handled = true
 	}
 	dec.Site = site
-	dec.Response = c.clock.Since(start)
-	dec.At = c.clock.Now()
-	return dec
+	return c.finish(dec, start, root)
 }
 
 // scheduleSingleCall is the one-round-trip coupling: the decision point
 // selects and records in a single interaction.
-func (c *Client) scheduleSingleCall(j *grid.Job, start time.Time, dec Decision) Decision {
-	reply, err := wire.Call[ScheduleArgs, ScheduleReply](c.conn(), MethodSchedule, ScheduleArgs{
+func (c *Client) scheduleSingleCall(j *grid.Job, start time.Time, dec Decision, root *trace.Span) Decision {
+	qs := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseQuery)
+	reply, err := wire.CallCtx[ScheduleArgs, ScheduleReply](c.conn(), qs.Context(), MethodSchedule, ScheduleArgs{
 		JobID:   string(j.ID),
 		Owner:   j.Owner.String(),
 		CPUs:    j.CPUs,
 		Runtime: j.Runtime,
 	}, c.cfg.Timeout)
+	qs.End()
 	c.noteOutcome(err)
 	switch {
 	case err != nil:
+		fs := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseFallback)
 		dec.Site, dec.Err = c.fallback()
+		fs.End()
 		dec.Handled = false
 	case !reply.OK:
 		// The broker answered but nothing qualified; degrade to random.
+		fs := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseFallback)
 		dec.Site, dec.Err = c.fallback()
+		fs.End()
 		dec.Handled = true
 	default:
 		dec.Site = reply.Site
 		dec.Handled = true
 	}
-	dec.Response = c.clock.Since(start)
-	dec.At = c.clock.Now()
+	return c.finish(dec, start, root)
+}
+
+// finish stamps the decision and closes the root span with one shared
+// clock read, keeping dec.Response and the root span duration equal.
+func (c *Client) finish(dec Decision, start time.Time, root *trace.Span) Decision {
+	now := c.clock.Now()
+	dec.Response = now.Sub(start)
+	dec.At = now
+	root.EndAt(now)
 	return dec
 }
 
@@ -297,6 +334,7 @@ func (c *Client) Rebind(dpName, dpNode, addr string) {
 		Transport:  c.cfg.Transport,
 		Network:    c.cfg.Network,
 		Clock:      c.cfg.Clock,
+		Tracer:     c.cfg.Tracer,
 	})
 	// Close the old connection in the background once its in-flight
 	// calls have had a chance to finish — unless Close arrives first, in

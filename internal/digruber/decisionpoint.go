@@ -8,6 +8,7 @@ import (
 
 	"digruber/internal/gruber"
 	"digruber/internal/netsim"
+	"digruber/internal/trace"
 	"digruber/internal/usla"
 	"digruber/internal/vtime"
 	"digruber/internal/wire"
@@ -39,6 +40,9 @@ type Config struct {
 	// Saturation configures the self-saturation detector; zero values
 	// get defaults.
 	Saturation SaturationConfig
+	// Tracer, when non-nil, records this decision point's server-side,
+	// engine and mesh-exchange spans. Nil disables tracing at zero cost.
+	Tracer *trace.Tracer
 }
 
 func (c *Config) setDefaults() error {
@@ -173,6 +177,8 @@ func New(cfg Config) (*DecisionPoint, error) {
 		detector: NewSaturationDetector(cfg.Saturation, cfg.Clock),
 		peers:    make(map[string]*peerLink),
 	}
+	dp.engine.SetTracer(cfg.Tracer)
+	dp.server.SetTracer(cfg.Tracer)
 	dp.registerHandlers()
 	return dp, nil
 }
@@ -191,7 +197,7 @@ func (dp *DecisionPoint) Engine() *gruber.Engine { return dp.engine }
 func (dp *DecisionPoint) Detector() *SaturationDetector { return dp.detector }
 
 func (dp *DecisionPoint) registerHandlers() {
-	wire.Handle(dp.server, MethodQuery, func(a QueryArgs) (QueryReply, error) {
+	wire.HandleCtx(dp.server, MethodQuery, func(ctx wire.Ctx, a QueryArgs) (QueryReply, error) {
 		dp.detector.ObserveArrival()
 		owner, err := usla.ParsePath(a.Owner)
 		if err != nil {
@@ -200,18 +206,18 @@ func (dp *DecisionPoint) registerHandlers() {
 		if a.CPUs <= 0 {
 			return QueryReply{}, fmt.Errorf("digruber: query with %d CPUs", a.CPUs)
 		}
-		return QueryReply{Loads: dp.engine.SiteLoads(owner, a.CPUs)}, nil
+		return QueryReply{Loads: dp.engine.SiteLoadsCtx(ctx.Span, owner, a.CPUs)}, nil
 	})
-	wire.Handle(dp.server, MethodReport, func(a ReportArgs) (ReportReply, error) {
-		dp.engine.RecordDispatch(a.Dispatch)
+	wire.HandleCtx(dp.server, MethodReport, func(ctx wire.Ctx, a ReportArgs) (ReportReply, error) {
+		dp.engine.RecordDispatchCtx(ctx.Span, a.Dispatch)
 		return ReportReply{OK: true}, nil
 	})
-	wire.Handle(dp.server, MethodExchange, func(a ExchangeArgs) (ExchangeReply, error) {
+	wire.HandleCtx(dp.server, MethodExchange, func(ctx wire.Ctx, a ExchangeArgs) (ExchangeReply, error) {
 		// Hearing from a peer proves it is up — this is how a restarted
 		// decision point's first outbound exchange revives its link at
 		// every peer without waiting out their probe backoff.
 		dp.markPeerAlive(a.From)
-		merged := dp.engine.MergeRemote(a.Dispatches)
+		merged := dp.engine.MergeRemoteCtx(ctx.Span, a.Dispatches)
 		for _, e := range a.USLAs {
 			// Under usage-and-USLAs dissemination, remote entries are
 			// folded into local policy knowledge.
@@ -269,7 +275,7 @@ func (dp *DecisionPoint) registerHandlers() {
 		}
 		return reply, nil
 	})
-	wire.Handle(dp.server, MethodSchedule, func(a ScheduleArgs) (ScheduleReply, error) {
+	wire.HandleCtx(dp.server, MethodSchedule, func(ctx wire.Ctx, a ScheduleArgs) (ScheduleReply, error) {
 		dp.detector.ObserveArrival()
 		owner, err := usla.ParsePath(a.Owner)
 		if err != nil {
@@ -278,12 +284,12 @@ func (dp *DecisionPoint) registerHandlers() {
 		if a.CPUs <= 0 || a.Runtime <= 0 {
 			return ScheduleReply{}, fmt.Errorf("digruber: schedule with cpus=%d runtime=%s", a.CPUs, a.Runtime)
 		}
-		loads := dp.engine.SiteLoads(owner, a.CPUs)
+		loads := dp.engine.SiteLoadsCtx(ctx.Span, owner, a.CPUs)
 		site, ok := (gruber.USLAAware{}).Select(loads, a.CPUs)
 		if !ok {
 			return ScheduleReply{OK: false}, nil
 		}
-		dp.engine.RecordDispatch(gruber.Dispatch{
+		dp.engine.RecordDispatchCtx(ctx.Span, gruber.Dispatch{
 			JobID:   a.JobID,
 			Site:    site,
 			Owner:   a.Owner,
@@ -337,6 +343,7 @@ func (dp *DecisionPoint) Status() StatusReply {
 		Received:         ss.Received,
 		Completed:        ss.Completed,
 		Shed:             ss.Shed,
+		ConnLost:         ss.ConnLost,
 		InFlight:         ss.InFlight,
 		Queued:           ss.Queued,
 		Saturated:        saturated,
@@ -375,6 +382,7 @@ func (dp *DecisionPoint) newPeerClient(node, addr string) *wire.Client {
 		Transport:  dp.cfg.Transport,
 		Network:    dp.cfg.Network,
 		Clock:      dp.cfg.Clock,
+		Tracer:     dp.cfg.Tracer,
 	})
 }
 
@@ -401,6 +409,7 @@ func (dp *DecisionPoint) Start() error {
 	}
 	if dp.server == nil {
 		dp.server = wire.NewServer(dp.cfg.Node, dp.cfg.Profile, dp.cfg.Clock)
+		dp.server.SetTracer(dp.cfg.Tracer)
 		dp.registerHandlers()
 	}
 	for _, link := range dp.peers {
@@ -463,6 +472,10 @@ func (dp *DecisionPoint) ExchangeNow() int {
 	if strategy == NoExchange {
 		return 0
 	}
+	// Peers are contacted in name order so a traced round draws its span
+	// IDs in a reproducible sequence.
+	sort.Slice(links, func(i, j int) bool { return links[i].name < links[j].name })
+	round := dp.cfg.Tracer.StartTrace(trace.PhaseMeshRound)
 	sent := 0
 	var wg sync.WaitGroup
 	for _, link := range links {
@@ -482,10 +495,15 @@ func (dp *DecisionPoint) ExchangeNow() int {
 		if strategy == UsageAndUSLAs {
 			args.USLAs = dp.cfg.Policies.Entries()
 		}
+		// The per-peer span (and its ID draw) happens here, in name order;
+		// only the call itself runs concurrently.
+		ex := dp.cfg.Tracer.StartSpan(round.Context(), trace.PhaseMeshExchange)
+		ex.SetNote(link.name)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, err := wire.Call[ExchangeArgs, ExchangeReply](client, MethodExchange, args, timeout)
+			_, err := wire.CallCtx[ExchangeArgs, ExchangeReply](client, ex.Context(), MethodExchange, args, timeout)
+			ex.End()
 			dp.mu.Lock()
 			if err == nil {
 				link.markAliveLocked()
@@ -502,6 +520,7 @@ func (dp *DecisionPoint) ExchangeNow() int {
 		sent += len(batch)
 	}
 	wg.Wait()
+	round.End()
 	dp.mu.Lock()
 	dp.rounds++
 	dp.sentRecs += sent

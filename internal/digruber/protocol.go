@@ -161,10 +161,14 @@ type StatusReply struct {
 	Queries          int64
 	LocalDispatches  int64
 	RemoteDispatches int64
-	// Received/Completed/Shed/InFlight/Queued mirror the service stack.
+	// Received/Completed/Shed/ConnLost/InFlight/Queued mirror the service
+	// stack. ConnLost counts responses computed for callers that had
+	// already hung up — wasted container work, the third leg of the
+	// shed/served/conn-lost failure-class split.
 	Received  int64
 	Completed int64
 	Shed      int64
+	ConnLost  int64
 	InFlight  int64
 	Queued    int
 	// Saturated is the decision point's own saturation verdict.

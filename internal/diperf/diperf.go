@@ -28,6 +28,9 @@ type OpResult struct {
 	Handled bool
 	// Err is a hard failure (not a graceful fallback).
 	Err error
+	// TraceID links the operation to its span tree when the run is
+	// traced (zero otherwise).
+	TraceID uint64
 }
 
 // Op performs one service interaction for tester t (its seq-th). The
@@ -67,14 +70,18 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// opRecord is one collected measurement.
-type opRecord struct {
-	tester   int
-	start    time.Time
-	end      time.Time
-	response time.Duration
-	handled  bool
-	err      error
+// OpRecord is one collected measurement, exported so trace analysis can
+// cross-check span trees against the controller's own timing.
+type OpRecord struct {
+	Tester   int
+	Seq      int
+	Start    time.Time
+	End      time.Time
+	Response time.Duration
+	Handled  bool
+	Err      error
+	// TraceID is the operation's trace (zero when untraced).
+	TraceID uint64
 }
 
 // Result is the aggregated outcome of one DiPerF run — everything a
@@ -103,6 +110,11 @@ type Result struct {
 	Ops     int
 	Handled int
 	Errors  int
+
+	// Records holds every per-operation measurement in completion order —
+	// the raw material figures' curves are built from, kept so traced
+	// runs can join each operation to its span tree by TraceID.
+	Records []OpRecord
 }
 
 // Run executes the test synchronously and returns the aggregate result.
@@ -115,7 +127,7 @@ func Run(cfg Config, op Op) (Result, error) {
 	deadline := origin.Add(cfg.Duration)
 
 	var mu sync.Mutex
-	var records []opRecord
+	var records []OpRecord
 	active := make([]struct{ start, end time.Time }, cfg.Testers)
 
 	var wg sync.WaitGroup
@@ -134,9 +146,10 @@ func Run(cfg Config, op Op) (Result, error) {
 				res := op(t, seq)
 				opEnd := clock.Now()
 				mu.Lock()
-				records = append(records, opRecord{
-					tester: t, start: opStart, end: opEnd,
-					response: opEnd.Sub(opStart), handled: res.Handled, err: res.Err,
+				records = append(records, OpRecord{
+					Tester: t, Seq: seq, Start: opStart, End: opEnd,
+					Response: opEnd.Sub(opStart), Handled: res.Handled,
+					Err: res.Err, TraceID: res.TraceID,
 				})
 				mu.Unlock()
 				seq++
@@ -153,21 +166,21 @@ func Run(cfg Config, op Op) (Result, error) {
 	return aggregate(origin, cfg, records, active), nil
 }
 
-func aggregate(origin time.Time, cfg Config, records []opRecord, active []struct{ start, end time.Time }) Result {
-	res := Result{Origin: origin, Window: cfg.Window}
+func aggregate(origin time.Time, cfg Config, records []OpRecord, active []struct{ start, end time.Time }) Result {
+	res := Result{Origin: origin, Window: cfg.Window, Records: records}
 	var respSeries, tputSeries stats.Series
 	var responseVals []float64
 	for _, r := range records {
 		res.Ops++
-		if r.handled {
+		if r.Handled {
 			res.Handled++
-			tputSeries.Add(r.end, 1)
+			tputSeries.Add(r.End, 1)
 		}
-		if r.err != nil {
+		if r.Err != nil {
 			res.Errors++
 		}
-		respSeries.Add(r.end, r.response.Seconds())
-		responseVals = append(responseVals, r.response.Seconds())
+		respSeries.Add(r.End, r.Response.Seconds())
+		responseVals = append(responseVals, r.Response.Seconds())
 	}
 	res.ResponseSummary = stats.Summarize(responseVals)
 
@@ -175,8 +188,8 @@ func aggregate(origin time.Time, cfg Config, records []opRecord, active []struct
 	if len(records) > 0 || len(active) > 0 {
 		last := origin
 		for _, r := range records {
-			if r.end.After(last) {
-				last = r.end
+			if r.End.After(last) {
+				last = r.End
 			}
 		}
 		for _, a := range active {

@@ -38,8 +38,9 @@ func ablationExperiments() []Experiment {
 	}
 }
 
-func runDisseminationAblation(scale Scale) (string, error) {
+func runDisseminationAblation(scale Scale) (Report, error) {
 	var b strings.Builder
+	var rows []Row
 	b.WriteString("== Ablation: dissemination strategies (3 DPs, GT3) ==\n")
 	fmt.Fprintf(&b, "%-18s %18s %12s %12s\n", "strategy", "accuracy(handled)", "handled%", "tput(q/s)")
 	for _, strategy := range []digruber.DisseminationStrategy{
@@ -53,18 +54,25 @@ func runDisseminationAblation(scale Scale) (string, error) {
 			ExecuteJobs: true,
 		})
 		if err != nil {
-			return "", err
+			return Report{}, err
 		}
 		fmt.Fprintf(&b, "%-18s %17.1f%% %11.1f%% %12.2f\n",
 			strategy, res.HandledAccuracy*100,
 			pctOf(res.DiPerF.Handled, res.DiPerF.Ops), res.DiPerF.PeakThroughput)
+		rows = append(rows, Row{
+			"row": "ablation", "ablation": "dissemination", "variant": strategy.String(),
+			"handled_accuracy": res.HandledAccuracy,
+			"handled_pct":      pctOf(res.DiPerF.Handled, res.DiPerF.Ops),
+			"peak_tput_qps":    res.DiPerF.PeakThroughput,
+		})
 	}
 	b.WriteString("\nExpected: usage-only and usage-and-USLAs match (USLAs are static\nin these runs); no-exchange loses accuracy because each decision\npoint is blind to two thirds of the dispatches.\n")
-	return b.String(), nil
+	return Report{Text: b.String(), Rows: rows}, nil
 }
 
-func runTopologyAblation(scale Scale) (string, error) {
+func runTopologyAblation(scale Scale) (Report, error) {
 	var b strings.Builder
+	var rows []Row
 	b.WriteString("== Ablation: exchange topology (3 DPs, GT3) ==\n")
 	fmt.Fprintf(&b, "%-8s %18s %12s %14s\n", "topology", "accuracy(handled)", "handled%", "exch rounds")
 	for _, star := range []bool{false, true} {
@@ -80,18 +88,25 @@ func runTopologyAblation(scale Scale) (string, error) {
 			StarTopology: star,
 		})
 		if err != nil {
-			return "", err
+			return Report{}, err
 		}
 		fmt.Fprintf(&b, "%-8s %17.1f%% %11.1f%% %14d\n",
 			name, res.HandledAccuracy*100,
 			pctOf(res.DiPerF.Handled, res.DiPerF.Ops), res.ExchangeRounds)
+		rows = append(rows, Row{
+			"row": "ablation", "ablation": "topology", "variant": name,
+			"handled_accuracy": res.HandledAccuracy,
+			"handled_pct":      pctOf(res.DiPerF.Handled, res.DiPerF.Ops),
+			"exchange_rounds":  res.ExchangeRounds,
+		})
 	}
 	b.WriteString("\nWith 3 decision points a star only delays spoke-to-spoke state by\none extra interval; the gap widens with more points.\n")
-	return b.String(), nil
+	return Report{Text: b.String(), Rows: rows}, nil
 }
 
-func runSelectorAblation(scale Scale) (string, error) {
+func runSelectorAblation(scale Scale) (Report, error) {
 	var b strings.Builder
+	var rows []Row
 	b.WriteString("== Ablation: site selector policies (3 DPs, GT3) ==\n")
 	fmt.Fprintf(&b, "%-22s %18s %12s %12s\n", "selector", "accuracy(handled)", "QTime", "util")
 	for _, sel := range []string{"usla-aware", "least-used", "round-robin", "least-recently-used", "random"} {
@@ -103,18 +118,25 @@ func runSelectorAblation(scale Scale) (string, error) {
 			SelectorName: sel,
 		})
 		if err != nil {
-			return "", err
+			return Report{}, err
 		}
 		handledRow := res.Table.Rows[0]
 		fmt.Fprintf(&b, "%-22s %17.1f%% %12s %11.1f%%\n",
 			sel, res.HandledAccuracy*100,
 			handledRow.MeanQTime.Round(10*time.Millisecond), res.Util*100)
+		rows = append(rows, Row{
+			"row": "ablation", "ablation": "selector", "variant": sel,
+			"handled_accuracy": res.HandledAccuracy,
+			"mean_qtime_s":     handledRow.MeanQTime.Seconds(),
+			"util":             res.Util,
+		})
 	}
-	return b.String(), nil
+	return Report{Text: b.String(), Rows: rows}, nil
 }
 
-func runTimeoutAblation(scale Scale) (string, error) {
+func runTimeoutAblation(scale Scale) (Report, error) {
 	var b strings.Builder
+	var rows []Row
 	b.WriteString("== Ablation: client timeout (1 DP, GT3, saturated) ==\n")
 	fmt.Fprintf(&b, "%-10s %12s %18s %14s\n", "timeout", "handled%", "accuracy(handled)", "mean resp(s)")
 	for _, timeout := range []time.Duration{5 * time.Second, 15 * time.Second, 30 * time.Second, 60 * time.Second} {
@@ -127,14 +149,20 @@ func runTimeoutAblation(scale Scale) (string, error) {
 			ExecuteJobs: true,
 		})
 		if err != nil {
-			return "", err
+			return Report{}, err
 		}
 		fmt.Fprintf(&b, "%-10s %11.1f%% %17.1f%% %14.2f\n",
 			timeout, pctOf(res.DiPerF.Handled, res.DiPerF.Ops),
 			res.HandledAccuracy*100, res.DiPerF.ResponseSummary.Mean)
+		rows = append(rows, Row{
+			"row": "ablation", "ablation": "timeout", "variant": timeout.String(),
+			"handled_pct":      pctOf(res.DiPerF.Handled, res.DiPerF.Ops),
+			"handled_accuracy": res.HandledAccuracy,
+			"mean_response_s":  res.DiPerF.ResponseSummary.Mean,
+		})
 	}
 	b.WriteString("\nShorter timeouts trade broker-quality placements for bounded\nclient latency — the graceful-degradation dial of Section 4.3.\n")
-	return b.String(), nil
+	return Report{Text: b.String(), Rows: rows}, nil
 }
 
 func pctOf(a, b int) float64 {

@@ -20,11 +20,19 @@ func TestEveryExperimentRunsAtTinyScale(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s failed: %v", e.ID, err)
 			}
-			if len(strings.TrimSpace(report)) == 0 {
+			if len(strings.TrimSpace(report.Text)) == 0 {
 				t.Fatalf("%s produced an empty report", e.ID)
 			}
-			if !strings.Contains(report, "==") {
-				t.Fatalf("%s report has no title banner:\n%s", e.ID, report)
+			if !strings.Contains(report.Text, "==") {
+				t.Fatalf("%s report has no title banner:\n%s", e.ID, report.Text)
+			}
+			if len(report.Rows) == 0 {
+				t.Fatalf("%s produced no structured rows", e.ID)
+			}
+			for i, row := range report.Rows {
+				if _, ok := row["row"]; !ok {
+					t.Fatalf("%s row %d has no kind key: %v", e.ID, i, row)
+				}
 			}
 		})
 	}

@@ -34,6 +34,7 @@ func extensionExperiments() []Experiment {
 		{ID: "ext-gt4c", Title: "Extension: C-based WS core (GT4C) stack", Run: runGT4CExtension},
 		{ID: "ext-dynamic-live", Title: "Extension: live dynamic decision-point provisioning", Run: runDynamicLiveExtension},
 		{ID: "ext-lan", Title: "Extension: LAN vs WAN deployment", Run: runLANExtension},
+		{ID: "ext-trace-breakdown", Title: "Extension: per-phase latency attribution via distributed tracing", Run: runTraceBreakdown},
 		{ID: "ext-trace-replay", Title: "Extension: GRUB-SIM replaying a live-run trace", Run: runTraceReplayExtension},
 		{ID: "ext-failure", Title: "Extension: broker crash-recovery under a seeded fault plane", Run: runFailureExtension},
 	}
@@ -43,7 +44,7 @@ func extensionExperiments() []Experiment {
 // live emulation, record its request arrival trace, and feed that trace
 // to GRUB-SIM's dynamic provisioner to decide how many decision points
 // the recorded load needs.
-func runTraceReplayExtension(scale Scale) (string, error) {
+func runTraceReplayExtension(scale Scale) (Report, error) {
 	live, err := RunScenario(ScenarioConfig{
 		Name:    "ext-trace-live",
 		Scale:   scale,
@@ -51,17 +52,17 @@ func runTraceReplayExtension(scale Scale) (string, error) {
 		DPs:     1,
 	})
 	if err != nil {
-		return "", err
+		return Report{}, err
 	}
 	if len(live.Trace) == 0 {
-		return "", fmt.Errorf("exp: live run produced an empty trace")
+		return Report{}, fmt.Errorf("exp: live run produced an empty trace")
 	}
 	p := grubsim.GT3Params(1)
 	p.Dynamic = true
 	p.Duration = 0 // derive from the trace span
 	sim, err := grubsim.RunTrace(p, live.Trace)
 	if err != nil {
-		return "", err
+		return Report{}, err
 	}
 	var b strings.Builder
 	b.WriteString("== Extension: GRUB-SIM on a recorded live trace (GT3, from 1 DP) ==\n")
@@ -75,11 +76,18 @@ func runTraceReplayExtension(scale Scale) (string, error) {
 	for i, at := range sim.AddTimes {
 		fmt.Fprintf(&b, "  +DP %d at t=%s\n", i+2, at.Round(time.Second))
 	}
-	return b.String(), nil
+	rows := []Row{{
+		"row": "trace-replay", "requests": len(live.Trace),
+		"peak_tput_qps":  live.DiPerF.PeakThroughput,
+		"replay_handled": sim.Handled, "replay_timed_out": sim.TimedOut,
+		"replay_shed": sim.Shed, "final_dps": sim.FinalDPs, "added_dps": sim.AddedDPs,
+	}}
+	return Report{Text: b.String(), Rows: rows}, nil
 }
 
-func runCouplingExtension(scale Scale) (string, error) {
+func runCouplingExtension(scale Scale) (Report, error) {
 	var b strings.Builder
+	var rows []Row
 	b.WriteString("== Extension: two-layer vs one-layer coupling (1 DP, GT3) ==\n")
 	fmt.Fprintf(&b, "%-10s %12s %14s %12s\n", "coupling", "peak q/s", "mean resp(s)", "handled%")
 	for _, single := range []bool{false, true} {
@@ -96,18 +104,25 @@ func runCouplingExtension(scale Scale) (string, error) {
 			ExecuteJobs: true,
 		})
 		if err != nil {
-			return "", err
+			return Report{}, err
 		}
 		fmt.Fprintf(&b, "%-10s %12.2f %14.2f %11.1f%%\n",
 			name, res.DiPerF.PeakThroughput, res.DiPerF.ResponseSummary.Mean,
 			pctOf(res.DiPerF.Handled, res.DiPerF.Ops))
+		rows = append(rows, Row{
+			"row": "extension", "extension": "coupling", "variant": name,
+			"peak_tput_qps":   res.DiPerF.PeakThroughput,
+			"mean_response_s": res.DiPerF.ResponseSummary.Mean,
+			"handled_pct":     pctOf(res.DiPerF.Handled, res.DiPerF.Ops),
+		})
 	}
 	b.WriteString("\nOne-layer scheduling ships no site state over the WAN and saves a\nround trip, so a single decision point carries several times the load.\n")
-	return b.String(), nil
+	return Report{Text: b.String(), Rows: rows}, nil
 }
 
-func runGT4CExtension(scale Scale) (string, error) {
+func runGT4CExtension(scale Scale) (Report, error) {
 	var b strings.Builder
+	var rows []Row
 	b.WriteString("== Extension: service stack comparison (1 DP) ==\n")
 	fmt.Fprintf(&b, "%-6s %12s %14s %12s\n", "stack", "peak q/s", "mean resp(s)", "handled%")
 	for _, profile := range []wire.StackProfile{wire.GT3(), wire.GT4(), wire.GT4C()} {
@@ -119,22 +134,29 @@ func runGT4CExtension(scale Scale) (string, error) {
 			ExecuteJobs: true,
 		})
 		if err != nil {
-			return "", err
+			return Report{}, err
 		}
 		fmt.Fprintf(&b, "%-6s %12.2f %14.2f %11.1f%%\n",
 			profile.Name, res.DiPerF.PeakThroughput, res.DiPerF.ResponseSummary.Mean,
 			pctOf(res.DiPerF.Handled, res.DiPerF.Ops))
+		rows = append(rows, Row{
+			"row": "extension", "extension": "gt4c", "variant": profile.Name,
+			"peak_tput_qps":   res.DiPerF.PeakThroughput,
+			"mean_response_s": res.DiPerF.ResponseSummary.Mean,
+			"handled_pct":     pctOf(res.DiPerF.Handled, res.DiPerF.Ops),
+		})
 	}
 	b.WriteString("\nThe C-based core removes the authentication/SOAP bottleneck the\npaper identifies, letting one decision point do the work of several.\n")
-	return b.String(), nil
+	return Report{Text: b.String(), Rows: rows}, nil
 }
 
-func runLANExtension(scale Scale) (string, error) {
+func runLANExtension(scale Scale) (Report, error) {
 	// LAN vs WAN: rerun the 3-DP GT3 scenario with the LAN profile by
 	// swapping the network inside a custom mini-run. RunScenario pins
 	// PlanetLab, so this extension uses the simulator where the WAN
 	// latency is an explicit parameter.
 	var b strings.Builder
+	var rows []Row
 	b.WriteString("== Extension: WAN (PlanetLab) vs LAN deployment (GRUB-SIM, 10 DPs, unsaturated) ==\n")
 	fmt.Fprintf(&b, "%-6s %14s %12s\n", "net", "mean resp(s)", "tput(q/s)")
 	type regime struct {
@@ -146,15 +168,20 @@ func runLANExtension(scale Scale) (string, error) {
 		p.WANLatency = r.wan
 		res, err := grubsim.Run(p)
 		if err != nil {
-			return "", err
+			return Report{}, err
 		}
 		fmt.Fprintf(&b, "%-6s %14.2f %12.2f\n", r.name, res.MeanResponse.Seconds(), res.Throughput)
+		rows = append(rows, Row{
+			"row": "extension", "extension": "lan", "variant": r.name,
+			"mean_response_s": res.MeanResponse.Seconds(),
+			"tput_qps":        res.Throughput,
+		})
 	}
 	b.WriteString("\nIn the unsaturated regime the WAN's round trips are a visible slice\nof every response; on a LAN they vanish — the conclusion's \"performance\nwill be significantly better in a LAN environment\".\n")
-	return b.String(), nil
+	return Report{Text: b.String(), Rows: rows}, nil
 }
 
-func runDynamicLiveExtension(scale Scale) (string, error) {
+func runDynamicLiveExtension(scale Scale) (Report, error) {
 	clock := vtime.NewScaled(Epoch, scale.Speedup)
 	network := netsim.New(1, netsim.PlanetLab())
 	mem := wire.NewMem()
@@ -163,7 +190,7 @@ func runDynamicLiveExtension(scale Scale) (string, error) {
 		Seed: 1, Sites: scale.Sites, TotalCPUs: scale.TotalCPUs, SizeSigma: 1, MaxClusterCPUs: 512,
 	}, clock)
 	if err != nil {
-		return "", err
+		return Report{}, err
 	}
 	defer g.Shutdown()
 	profile := wire.GT3()
@@ -191,13 +218,13 @@ func runDynamicLiveExtension(scale Scale) (string, error) {
 	}
 	first, err := factory(0)
 	if err != nil {
-		return "", err
+		return Report{}, err
 	}
 	prov, err := digruber.NewProvisioner(digruber.ProvisionerConfig{
 		Clock: clock, Factory: factory, Interval: time.Minute, MaxDPs: 8,
 	}, []*digruber.DecisionPoint{first})
 	if err != nil {
-		return "", err
+		return Report{}, err
 	}
 	defer func() {
 		for _, dp := range prov.Fleet() {
@@ -215,7 +242,7 @@ func runDynamicLiveExtension(scale Scale) (string, error) {
 			RNG: netsim.Stream(int64(i), "dyn.client"),
 		})
 		if err != nil {
-			return "", err
+			return Report{}, err
 		}
 		clients[i] = c
 		defer c.Close()
@@ -265,5 +292,11 @@ func runDynamicLiveExtension(scale Scale) (string, error) {
 	}
 	fmt.Fprintf(&b, "client bindings after rebalancing: %v\n", bindings)
 	fmt.Fprintf(&b, "saturation events observed: %d\n", len(prov.Overseer().Events()))
-	return b.String(), nil
+	rows := []Row{{
+		"row": "extension", "extension": "dynamic-live",
+		"final_dps":         len(prov.Fleet()),
+		"deployments":       len(prov.Deployments()),
+		"saturation_events": len(prov.Overseer().Events()),
+	}}
+	return Report{Text: b.String(), Rows: rows}, nil
 }

@@ -94,7 +94,7 @@ func AnalyzeFaultRun(r ScenarioResult, crashAt, healAt time.Duration) FaultAnaly
 // throughput dip-and-recovery story plus the handled breakdown —
 // exercising the paper's claim that a distributed brokering
 // infrastructure keeps working as individual points fail.
-func runFailureExtension(scale Scale) (string, error) {
+func runFailureExtension(scale Scale) (Report, error) {
 	crashAt := scale.Duration * 2 / 5
 	healAt := scale.Duration * 3 / 5
 	res, err := RunScenario(ScenarioConfig{
@@ -105,7 +105,7 @@ func runFailureExtension(scale Scale) (string, error) {
 		Faults:  &FaultConfig{CrashDPs: 3, CrashAt: crashAt, HealAt: healAt},
 	})
 	if err != nil {
-		return "", err
+		return Report{}, err
 	}
 	a := AnalyzeFaultRun(res, crashAt, healAt)
 
@@ -125,7 +125,15 @@ func runFailureExtension(scale Scale) (string, error) {
 		res.DiPerF.Ops, res.DiPerF.Handled, pctOf(res.DiPerF.Handled, res.DiPerF.Ops),
 		res.DiPerF.Errors, res.ExchangeRounds)
 	b.WriteString("\nClients bound to dead brokers degrade to fallback, then rebind along\ntheir failover chains; restarted brokers pull a peer snapshot instead of\nwaiting out exchange rounds — the dip is bounded and recovery immediate.\n")
-	return b.String(), nil
+	rows := append(scenarioRows(res), Row{
+		"row": "fault-analysis", "scenario": "ext-failure",
+		"pre_plateau_qps":  a.PrePlateau,
+		"dip_qps":          a.Dip,
+		"post_plateau_qps": a.PostPlateau,
+		"recovered":        a.Recovered,
+		"recovery_s":       a.RecoveryTime.Seconds(),
+	})
+	return Report{Text: b.String(), Rows: rows}, nil
 }
 
 func safeRatio(num, den float64) float64 {

@@ -15,9 +15,9 @@ type Experiment struct {
 	ID string
 	// Title describes what the paper shows there.
 	Title string
-	// Run executes the experiment at the given scale and renders a
-	// paper-style text report.
-	Run func(scale Scale) (string, error)
+	// Run executes the experiment at the given scale and returns a
+	// paper-style text report plus the same results as structured rows.
+	Run func(scale Scale) (Report, error)
 }
 
 // gtScenario builds the standard figure scenario for a stack/DP count.
@@ -37,27 +37,29 @@ func gtScenario(name string, profile wire.StackProfile, dps int, scale Scale) Sc
 	}
 }
 
-func runFigure(name, title string, profile wire.StackProfile, dps int, scale Scale) (string, error) {
+func runFigure(name, title string, profile wire.StackProfile, dps int, scale Scale) (Report, error) {
 	res, err := RunScenario(gtScenario(name, profile, dps, scale))
 	if err != nil {
-		return "", err
+		return Report{}, err
 	}
-	return FormatScenario(title, res), nil
+	return Report{Text: FormatScenario(title, res), Rows: scenarioRows(res)}, nil
 }
 
-func runTable(title string, profile wire.StackProfile, scale Scale) (string, error) {
+func runTable(title string, profile wire.StackProfile, scale Scale) (Report, error) {
 	var b strings.Builder
+	var rows []Row
 	fmt.Fprintf(&b, "== %s ==\n", title)
 	for _, dps := range []int{1, 3, 10} {
 		res, err := RunScenario(gtScenario(fmt.Sprintf("%s-%ddp", profile.Name, dps), profile, dps, scale))
 		if err != nil {
-			return "", err
+			return Report{}, err
 		}
 		fmt.Fprintf(&b, "\n-- %d decision point(s) --\n%s", dps, res.Table.String())
 		fmt.Fprintf(&b, "grid util=%.1f%%  completed jobs=%d  handled accuracy=%.1f%%\n",
 			res.Util*100, res.CompletedJobs, res.HandledAccuracy*100)
+		rows = append(rows, scenarioRows(res)...)
 	}
-	return b.String(), nil
+	return Report{Text: b.String(), Rows: rows}, nil
 }
 
 // Experiments returns every registered experiment, sorted by ID.
@@ -66,59 +68,68 @@ func Experiments() []Experiment {
 		{
 			ID:    "fig1",
 			Title: "Figure 1: GT3.2 service instance creation under DiPerF",
-			Run: func(s Scale) (string, error) {
+			Run: func(s Scale) (Report, error) {
 				res, err := RunFig1(Fig1Config{Scale: s})
 				if err != nil {
-					return "", err
+					return Report{}, err
 				}
-				return "== Figure 1: GT3.2 service instance creation ==\n" +
-					res.SummaryLine() + "\n\n" + res.Render(), nil
+				return Report{
+					Text: "== Figure 1: GT3.2 service instance creation ==\n" +
+						res.SummaryLine() + "\n\n" + res.Render(),
+					Rows: diperfRows("fig1", res),
+				}, nil
 			},
 		},
-		{ID: "fig5", Title: "Figure 5: GT3 DI-GRUBER, 1 decision point", Run: func(s Scale) (string, error) {
+		{ID: "fig5", Title: "Figure 5: GT3 DI-GRUBER, 1 decision point", Run: func(s Scale) (Report, error) {
 			return runFigure("gt3-1dp", "Figure 5: GT3 centralized (1 DP)", wire.GT3(), 1, s)
 		}},
-		{ID: "fig6", Title: "Figure 6: GT3 DI-GRUBER, 3 decision points", Run: func(s Scale) (string, error) {
+		{ID: "fig6", Title: "Figure 6: GT3 DI-GRUBER, 3 decision points", Run: func(s Scale) (Report, error) {
 			return runFigure("gt3-3dp", "Figure 6: GT3 DI-GRUBER (3 DPs)", wire.GT3(), 3, s)
 		}},
-		{ID: "fig7", Title: "Figure 7: GT3 DI-GRUBER, 10 decision points", Run: func(s Scale) (string, error) {
+		{ID: "fig7", Title: "Figure 7: GT3 DI-GRUBER, 10 decision points", Run: func(s Scale) (Report, error) {
 			return runFigure("gt3-10dp", "Figure 7: GT3 DI-GRUBER (10 DPs)", wire.GT3(), 10, s)
 		}},
-		{ID: "tab1", Title: "Table 1: GT3 DI-GRUBER overall performance", Run: func(s Scale) (string, error) {
+		{ID: "tab1", Title: "Table 1: GT3 DI-GRUBER overall performance", Run: func(s Scale) (Report, error) {
 			return runTable("Table 1: GT3 DI-GRUBER overall performance", wire.GT3(), s)
 		}},
-		{ID: "fig8", Title: "Figure 8: GT3 accuracy vs exchange interval (3 DPs)", Run: func(s Scale) (string, error) {
+		{ID: "fig8", Title: "Figure 8: GT3 accuracy vs exchange interval (3 DPs)", Run: func(s Scale) (Report, error) {
 			points, err := RunAccuracySweep(s, wire.GT3(), nil, 1)
 			if err != nil {
-				return "", err
+				return Report{}, err
 			}
-			return FormatAccuracy("Figure 8: GT3 scheduling accuracy vs exchange interval", points), nil
+			return Report{
+				Text: FormatAccuracy("Figure 8: GT3 scheduling accuracy vs exchange interval", points),
+				Rows: accuracyRows("gt3", points),
+			}, nil
 		}},
-		{ID: "fig9", Title: "Figure 9: GT4 DI-GRUBER, 1 decision point", Run: func(s Scale) (string, error) {
+		{ID: "fig9", Title: "Figure 9: GT4 DI-GRUBER, 1 decision point", Run: func(s Scale) (Report, error) {
 			return runFigure("gt4-1dp", "Figure 9: GT4 centralized (1 DP)", wire.GT4(), 1, s)
 		}},
-		{ID: "fig10", Title: "Figure 10: GT4 DI-GRUBER, 3 decision points", Run: func(s Scale) (string, error) {
+		{ID: "fig10", Title: "Figure 10: GT4 DI-GRUBER, 3 decision points", Run: func(s Scale) (Report, error) {
 			return runFigure("gt4-3dp", "Figure 10: GT4 DI-GRUBER (3 DPs)", wire.GT4(), 3, s)
 		}},
-		{ID: "fig11", Title: "Figure 11: GT4 DI-GRUBER, 10 decision points", Run: func(s Scale) (string, error) {
+		{ID: "fig11", Title: "Figure 11: GT4 DI-GRUBER, 10 decision points", Run: func(s Scale) (Report, error) {
 			return runFigure("gt4-10dp", "Figure 11: GT4 DI-GRUBER (10 DPs)", wire.GT4(), 10, s)
 		}},
-		{ID: "tab2", Title: "Table 2: GT4 DI-GRUBER overall performance", Run: func(s Scale) (string, error) {
+		{ID: "tab2", Title: "Table 2: GT4 DI-GRUBER overall performance", Run: func(s Scale) (Report, error) {
 			return runTable("Table 2: GT4 DI-GRUBER overall performance", wire.GT4(), s)
 		}},
-		{ID: "fig12", Title: "Figure 12: GT4 accuracy vs exchange interval (3 DPs)", Run: func(s Scale) (string, error) {
+		{ID: "fig12", Title: "Figure 12: GT4 accuracy vs exchange interval (3 DPs)", Run: func(s Scale) (Report, error) {
 			points, err := RunAccuracySweep(s, wire.GT4(), nil, 1)
 			if err != nil {
-				return "", err
+				return Report{}, err
 			}
-			return FormatAccuracy("Figure 12: GT4 scheduling accuracy vs exchange interval", points), nil
+			return Report{
+				Text: FormatAccuracy("Figure 12: GT4 scheduling accuracy vs exchange interval", points),
+				Rows: accuracyRows("gt4", points),
+			}, nil
 		}},
-		{ID: "tab3", Title: "Table 3: GRUB-SIM required decision points", Run: func(s Scale) (string, error) {
+		{ID: "tab3", Title: "Table 3: GRUB-SIM required decision points", Run: func(s Scale) (Report, error) {
 			rows, err := RunTab3(s.Name == "bench" || s.Name == "tiny")
 			if err != nil {
-				return "", err
+				return Report{}, err
 			}
-			return FormatTab3(rows), nil
+			return Report{Text: FormatTab3(rows), Rows: tab3Rows(rows)}, nil
 		}},
 	}
 	exps = append(exps, ablationExperiments()...)

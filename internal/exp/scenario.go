@@ -13,6 +13,7 @@ import (
 	"digruber/internal/grubsim"
 	"digruber/internal/metrics"
 	"digruber/internal/netsim"
+	"digruber/internal/trace"
 	"digruber/internal/vtime"
 	"digruber/internal/wire"
 )
@@ -65,6 +66,11 @@ type ScenarioConfig struct {
 	// extension). The schedule is drawn from Seed, so the same seed
 	// replays the same victims and windows.
 	Faults *FaultConfig
+	// TraceSink, when non-nil, turns on distributed tracing: every
+	// client, decision point and mesh round records spans into it. Span
+	// IDs are drawn from per-actor seeded streams and timestamps from
+	// the experiment clock, so the same seed yields the same trace.
+	TraceSink *trace.Collector
 }
 
 // FaultConfig schedules a seeded crash-and-heal wave against the
@@ -176,6 +182,14 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	network := netsim.New(cfg.Seed, netsim.PlanetLab())
 	mem := wire.NewMem()
 
+	// Per-actor tracers share the run's collector; each actor draws span
+	// IDs from its own seeded stream (nil sink disables tracing).
+	tracerFor := func(actor string) *trace.Tracer {
+		return trace.New(trace.Config{
+			Actor: actor, Seed: cfg.Seed, Clock: clock, Collector: cfg.TraceSink,
+		})
+	}
+
 	// --- grid substrate ---
 	g, err := grid.Generate(grid.TopologyConfig{
 		Seed:           cfg.Seed,
@@ -215,6 +229,7 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 			ExchangeInterval: cfg.ExchangeInterval,
 			Strategy:         cfg.Strategy,
 			PeerTimeout:      cfg.Timeout,
+			Tracer:           tracerFor(fmt.Sprintf("dp-%d", i)),
 		})
 		if err != nil {
 			return ScenarioResult{}, err
@@ -335,6 +350,7 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 			FallbackSites: siteNames,
 			RNG:           netsim.Stream(cfg.Seed, fmt.Sprintf("exp.fallback/%d", t)),
 			Failover:      failover,
+			Tracer:        tracerFor(wl.gen.HostName(t)),
 		})
 		if err != nil {
 			return ScenarioResult{}, err
@@ -353,20 +369,20 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		SubmitOverhead: 500 * time.Millisecond,
 	})
 	var execWG sync.WaitGroup
-	var traceMu sync.Mutex
-	var trace grubsim.Trace
+	var arrivalMu sync.Mutex
+	var arrivals grubsim.Trace
 
 	op := func(t, seq int) diperf.OpResult {
-		traceMu.Lock()
-		trace = append(trace, grubsim.Arrival{At: clock.Since(Epoch), Client: t})
-		traceMu.Unlock()
+		arrivalMu.Lock()
+		arrivals = append(arrivals, grubsim.Arrival{At: clock.Since(Epoch), Client: t})
+		arrivalMu.Unlock()
 		job, err := wl.nextJob(t)
 		if err != nil {
 			return diperf.OpResult{Err: err}
 		}
 		dec := clients[t].Schedule(job)
 		if dec.Err != nil {
-			return diperf.OpResult{Handled: dec.Handled, Err: dec.Err}
+			return diperf.OpResult{Handled: dec.Handled, Err: dec.Err, TraceID: dec.TraceID}
 		}
 		// Ground-truth scheduling accuracy at dispatch: how good was the
 		// chosen site relative to the best available one?
@@ -390,7 +406,7 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 				collector.RecordOutcome(string(job.ID), out.QTime(), cpu, out.Failed)
 			}(dec.Site)
 		}
-		return diperf.OpResult{Handled: dec.Handled}
+		return diperf.OpResult{Handled: dec.Handled, TraceID: dec.TraceID}
 	}
 
 	// --- drive it with DiPerF ---
@@ -426,8 +442,8 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	for _, dp := range dps {
 		res.ExchangeRounds += dp.ExchangeRounds()
 	}
-	trace.Sort()
-	res.Trace = trace
+	arrivals.Sort()
+	res.Trace = arrivals
 	return res, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"digruber/internal/grid"
+	"digruber/internal/trace"
 	"digruber/internal/usla"
 	"digruber/internal/vtime"
 )
@@ -68,6 +69,10 @@ type SiteLoad struct {
 type Engine struct {
 	name  string
 	clock vtime.Clock
+	// tracer records engine-phase spans for traced requests (see the Ctx
+	// method variants); set it with SetTracer at wiring time. Nil
+	// disables tracing at zero cost.
+	tracer *trace.Tracer
 
 	mu       sync.RWMutex
 	policies *usla.PolicySet
@@ -134,6 +139,20 @@ func NewEngine(name string, policies *usla.PolicySet, clock vtime.Clock) *Engine
 
 // Name returns the engine's identity.
 func (e *Engine) Name() string { return e.name }
+
+// SetTracer installs the tracer the Ctx method variants record spans
+// against. Set it before the engine starts serving requests.
+func (e *Engine) SetTracer(t *trace.Tracer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tracer = t
+}
+
+func (e *Engine) getTracer() *trace.Tracer {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.tracer
+}
 
 // Policies returns the engine's USLA policy set (live; additions take
 // effect immediately).
@@ -211,6 +230,15 @@ func (sv *siteView) estFree() int {
 	return free
 }
 
+// SiteLoadsCtx is SiteLoads recorded as an engine.select span under the
+// given trace context.
+func (e *Engine) SiteLoadsCtx(ctx trace.SpanContext, owner usla.Path, cpus int) []SiteLoad {
+	sp := e.getTracer().StartSpan(ctx, trace.PhaseEngineSelect)
+	loads := e.SiteLoads(owner, cpus)
+	sp.End()
+	return loads
+}
+
 // SiteLoads evaluates every known site for a job of the given owner and
 // CPU demand. The returned slice is sorted by site name; selectors apply
 // their own ranking.
@@ -238,6 +266,14 @@ func (e *Engine) SiteLoads(owner usla.Path, cpus int) []SiteLoad {
 	return out
 }
 
+// RecordDispatchCtx is RecordDispatch recorded as an engine.record span
+// under the given trace context.
+func (e *Engine) RecordDispatchCtx(ctx trace.SpanContext, d Dispatch) {
+	sp := e.getTracer().StartSpan(ctx, trace.PhaseEngineRecord)
+	e.RecordDispatch(d)
+	sp.End()
+}
+
 // RecordDispatch folds a locally-brokered dispatch into the view and the
 // exchange log. The engine stamps itself as Origin.
 func (e *Engine) RecordDispatch(d Dispatch) {
@@ -252,6 +288,15 @@ func (e *Engine) RecordDispatch(d Dispatch) {
 	if sv, ok := e.sites[d.Site]; ok {
 		sv.applyLocked(d)
 	}
+}
+
+// MergeRemoteCtx is MergeRemote recorded as an engine.merge span under
+// the given trace context.
+func (e *Engine) MergeRemoteCtx(ctx trace.SpanContext, dispatches []Dispatch) int {
+	sp := e.getTracer().StartSpan(ctx, trace.PhaseEngineMerge)
+	n := e.MergeRemote(dispatches)
+	sp.End()
+	return n
 }
 
 // MergeRemote folds dispatches received from a peer decision point into

@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"digruber/internal/stats"
+)
+
+// Node is one span with its children, sorted by start time.
+type Node struct {
+	Record
+	Children []*Node
+}
+
+// Tree is one reassembled trace.
+type Tree struct {
+	Root *Node
+	// Spans counts every node in the tree, root included.
+	Spans int
+}
+
+// Duration is the root span's duration — the traced operation's
+// end-to-end time.
+func (t *Tree) Duration() time.Duration { return t.Root.Duration }
+
+// BuildTrees reassembles span records into per-trace trees. Records may
+// arrive in any order (the collector stores completion order). A span
+// whose parent was never recorded — e.g. the far side of a timed-out
+// call that outlived the run — becomes the root of its own tree, so
+// nothing is silently lost. Trees are sorted by root start time (ties
+// by trace then span ID); children by start time (ties by span ID).
+func BuildTrees(records []Record) []*Tree {
+	nodes := make(map[uint64]map[uint64]*Node) // trace → span → node
+	for _, r := range records {
+		byspan := nodes[r.Trace]
+		if byspan == nil {
+			byspan = make(map[uint64]*Node)
+			nodes[r.Trace] = byspan
+		}
+		// Duplicate span IDs shouldn't happen; last write wins if they do.
+		byspan[r.Span] = &Node{Record: r}
+	}
+	var trees []*Tree
+	for _, byspan := range nodes {
+		var roots []*Node
+		for _, n := range byspan {
+			if parent, ok := byspan[n.Parent]; ok && n.Parent != 0 && parent != n {
+				parent.Children = append(parent.Children, n)
+			} else {
+				roots = append(roots, n)
+			}
+		}
+		for _, root := range roots {
+			t := &Tree{Root: root}
+			t.Spans = countAndSort(root)
+			trees = append(trees, t)
+		}
+	}
+	sort.Slice(trees, func(i, j int) bool {
+		ri, rj := trees[i].Root, trees[j].Root
+		if !ri.Start.Equal(rj.Start) {
+			return ri.Start.Before(rj.Start)
+		}
+		if ri.Trace != rj.Trace {
+			return ri.Trace < rj.Trace
+		}
+		return ri.Span < rj.Span
+	})
+	return trees
+}
+
+func countAndSort(n *Node) int {
+	sort.Slice(n.Children, func(i, j int) bool {
+		if !n.Children[i].Start.Equal(n.Children[j].Start) {
+			return n.Children[i].Start.Before(n.Children[j].Start)
+		}
+		return n.Children[i].Span < n.Children[j].Span
+	})
+	total := 1
+	for _, c := range n.Children {
+		total += countAndSort(c)
+	}
+	return total
+}
+
+// FilterRoots keeps trees whose root span has the given name — the way
+// callers separate request traces (client.schedule) from mesh rounds.
+func FilterRoots(trees []*Tree, name string) []*Tree {
+	var out []*Tree
+	for _, t := range trees {
+		if t.Root.Name == name {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Exclusive computes, per span name, the tree's self time: each span's
+// duration minus its children's, every window clipped to its parent so
+// a child that outlived its parent (a server finishing a call the
+// client already timed out of) cannot inflate the total. The residual
+// is the root duration minus the sum of all exclusive times; with the
+// sequential instrumentation of this repo it is zero, and it can only
+// become nonzero if sibling spans overlap (their clipped durations
+// double-count the overlap, which the clamped subtraction then loses).
+func (t *Tree) Exclusive() (map[string]time.Duration, time.Duration) {
+	out := make(map[string]time.Duration)
+	rootDur := clipWalk(t.Root, t.Root.Start, t.Root.End(), out)
+	var sum time.Duration
+	for _, d := range out {
+		sum += d
+	}
+	return out, rootDur - sum
+}
+
+// clipWalk accumulates exclusive times for the subtree at n, with n's
+// window clipped to [lo, hi]. It returns n's clipped duration.
+func clipWalk(n *Node, lo, hi time.Time, out map[string]time.Duration) time.Duration {
+	s, e := n.Start, n.End()
+	if s.Before(lo) {
+		s = lo
+	}
+	if e.After(hi) {
+		e = hi
+	}
+	dur := e.Sub(s)
+	if dur < 0 {
+		dur = 0
+	}
+	var childSum time.Duration
+	for _, c := range n.Children {
+		childSum += clipWalk(c, s, e, out)
+	}
+	excl := dur - childSum
+	if excl < 0 {
+		excl = 0
+	}
+	out[n.Name] += excl
+	return dur
+}
+
+// PhaseStat aggregates one span name's exclusive time across trees.
+type PhaseStat struct {
+	Name string
+	// Spans counts span occurrences across all trees.
+	Spans int
+	// Trees counts trees in which the phase appears at all.
+	Trees int
+	// Total is summed exclusive time across all trees.
+	Total time.Duration
+	// Mean/P50/P95/P99/Max describe the per-tree exclusive time
+	// distribution (over trees where the phase appears).
+	Mean time.Duration
+	P50  time.Duration
+	P95  time.Duration
+	P99  time.Duration
+	Max  time.Duration
+	// Share is Total over the sum of every phase's Total.
+	Share float64
+}
+
+// PhaseBreakdown computes the per-phase critical-path breakdown over a
+// set of trees: where the end-to-end time of these operations actually
+// went. Results are sorted by Total, descending (ties by name).
+func PhaseBreakdown(trees []*Tree) []PhaseStat {
+	perPhase := make(map[string][]float64) // seconds of exclusive time per tree
+	spanCount := make(map[string]int)
+	for _, t := range trees {
+		excl, _ := t.Exclusive()
+		for name, d := range excl {
+			perPhase[name] = append(perPhase[name], d.Seconds())
+		}
+		countSpans(t.Root, spanCount)
+	}
+	var grand time.Duration
+	out := make([]PhaseStat, 0, len(perPhase))
+	for name, secs := range perPhase {
+		var total time.Duration
+		var maxv float64
+		for _, s := range secs {
+			total += secsToDur(s)
+			if s > maxv {
+				maxv = s
+			}
+		}
+		grand += total
+		out = append(out, PhaseStat{
+			Name:  name,
+			Spans: spanCount[name],
+			Trees: len(secs),
+			Total: total,
+			Mean:  secsToDur(stats.Mean(secs)),
+			P50:   secsToDur(stats.Percentile(secs, 50)),
+			P95:   secsToDur(stats.Percentile(secs, 95)),
+			P99:   secsToDur(stats.Percentile(secs, 99)),
+			Max:   secsToDur(maxv),
+		})
+	}
+	for i := range out {
+		if grand > 0 {
+			out[i].Share = float64(out[i].Total) / float64(grand)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+func countSpans(n *Node, counts map[string]int) {
+	counts[n.Name]++
+	for _, c := range n.Children {
+		countSpans(c, counts)
+	}
+}
+
+func secsToDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}
+
+// SlowestN returns the n trees with the longest root durations, slowest
+// first (ties broken by start time, then trace ID, for determinism).
+func SlowestN(trees []*Tree, n int) []*Tree {
+	sorted := append([]*Tree(nil), trees...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Duration() != sorted[j].Duration() {
+			return sorted[i].Duration() > sorted[j].Duration()
+		}
+		if !sorted[i].Root.Start.Equal(sorted[j].Root.Start) {
+			return sorted[i].Root.Start.Before(sorted[j].Root.Start)
+		}
+		return sorted[i].Root.Trace < sorted[j].Root.Trace
+	})
+	if n > len(sorted) {
+		n = len(sorted)
+	}
+	return sorted[:n]
+}

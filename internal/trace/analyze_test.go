@@ -1,0 +1,179 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// rec builds a Record on the shared test epoch.
+func rec(trace, span, parent uint64, name string, startSec, durSec int) Record {
+	return Record{
+		Trace:    trace,
+		Span:     span,
+		Parent:   parent,
+		Name:     name,
+		Start:    epoch.Add(time.Duration(startSec) * time.Second),
+		Duration: time.Duration(durSec) * time.Second,
+	}
+}
+
+func TestBuildTreesAssemblesAndSorts(t *testing.T) {
+	// Two traces, records deliberately out of order.
+	records := []Record{
+		rec(2, 20, 0, PhaseSchedule, 5, 4),
+		rec(1, 11, 10, PhaseQuery, 1, 2),
+		rec(1, 10, 0, PhaseSchedule, 0, 4),
+		rec(1, 12, 11, PhaseAttempt, 1, 1),
+		rec(2, 21, 20, PhaseQuery, 6, 1),
+	}
+	trees := BuildTrees(records)
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2", len(trees))
+	}
+	if trees[0].Root.Trace != 1 || trees[1].Root.Trace != 2 {
+		t.Fatalf("trees not sorted by root start: %d then %d", trees[0].Root.Trace, trees[1].Root.Trace)
+	}
+	if trees[0].Spans != 3 || trees[1].Spans != 2 {
+		t.Errorf("span counts %d/%d, want 3/2", trees[0].Spans, trees[1].Spans)
+	}
+	q := trees[0].Root.Children[0]
+	if q.Span != 11 || len(q.Children) != 1 || q.Children[0].Span != 12 {
+		t.Errorf("nesting wrong: %+v", q)
+	}
+}
+
+func TestBuildTreesOrphanBecomesRoot(t *testing.T) {
+	// A server-side span whose client root was never collected (the
+	// client timed out and its process exited before ending the root).
+	trees := BuildTrees([]Record{rec(1, 5, 99, PhaseHandle, 0, 1)})
+	if len(trees) != 1 || trees[0].Root.Name != PhaseHandle {
+		t.Fatalf("orphan not promoted to root: %+v", trees)
+	}
+}
+
+func TestFilterRoots(t *testing.T) {
+	trees := BuildTrees([]Record{
+		rec(1, 1, 0, PhaseSchedule, 0, 1),
+		rec(2, 2, 0, PhaseMeshRound, 0, 1),
+	})
+	if got := FilterRoots(trees, PhaseSchedule); len(got) != 1 || got[0].Root.Name != PhaseSchedule {
+		t.Errorf("FilterRoots(schedule) = %+v", got)
+	}
+	if got := FilterRoots(trees, "nope"); len(got) != 0 {
+		t.Errorf("FilterRoots(nope) = %+v", got)
+	}
+}
+
+func TestExclusiveTelescopes(t *testing.T) {
+	// root [0,10): query [1,4) with nested attempt [2,4); report [5,7).
+	trees := BuildTrees([]Record{
+		rec(1, 1, 0, PhaseSchedule, 0, 10),
+		rec(1, 2, 1, PhaseQuery, 1, 3),
+		rec(1, 3, 2, PhaseAttempt, 2, 2),
+		rec(1, 4, 1, PhaseReport, 5, 2),
+	})
+	excl, residual := trees[0].Exclusive()
+	want := map[string]time.Duration{
+		PhaseSchedule: 5 * time.Second, // 10 - 3 - 2
+		PhaseQuery:    1 * time.Second, // 3 - 2
+		PhaseAttempt:  2 * time.Second,
+		PhaseReport:   2 * time.Second,
+	}
+	for name, d := range want {
+		if excl[name] != d {
+			t.Errorf("exclusive[%s] = %v, want %v", name, excl[name], d)
+		}
+	}
+	if residual != 0 {
+		t.Errorf("residual %v, want 0", residual)
+	}
+	var sum time.Duration
+	for _, d := range excl {
+		sum += d
+	}
+	if sum != trees[0].Duration() {
+		t.Errorf("phases sum to %v, root is %v", sum, trees[0].Duration())
+	}
+}
+
+func TestExclusiveClipsChildToParentWindow(t *testing.T) {
+	// The server finished its handler 20s after the client's root span
+	// ended (client timeout): the overhang must not count.
+	trees := BuildTrees([]Record{
+		rec(1, 1, 0, PhaseSchedule, 0, 10),
+		rec(1, 2, 1, PhaseHandle, 5, 25), // runs to t=30, clipped at t=10
+	})
+	excl, residual := trees[0].Exclusive()
+	if excl[PhaseHandle] != 5*time.Second {
+		t.Errorf("clipped handle time %v, want 5s", excl[PhaseHandle])
+	}
+	if excl[PhaseSchedule] != 5*time.Second || residual != 0 {
+		t.Errorf("root exclusive %v residual %v, want 5s and 0", excl[PhaseSchedule], residual)
+	}
+}
+
+func TestPhaseBreakdownSharesAndOrder(t *testing.T) {
+	trees := BuildTrees([]Record{
+		// tree 1: 6s queue + 2s handle + 2s root slack
+		rec(1, 1, 0, PhaseSchedule, 0, 10),
+		rec(1, 2, 1, PhaseQueue, 0, 6),
+		rec(1, 3, 1, PhaseHandle, 6, 2),
+		// tree 2: 4s queue + 1s root slack
+		rec(2, 4, 0, PhaseSchedule, 0, 5),
+		rec(2, 5, 4, PhaseQueue, 0, 4),
+	})
+	phases := PhaseBreakdown(trees)
+	if len(phases) != 3 {
+		t.Fatalf("got %d phases, want 3", len(phases))
+	}
+	if phases[0].Name != PhaseQueue {
+		t.Fatalf("largest phase is %q, want %s", phases[0].Name, PhaseQueue)
+	}
+	q := phases[0]
+	if q.Spans != 2 || q.Trees != 2 || q.Total != 10*time.Second {
+		t.Errorf("queue stat %+v", q)
+	}
+	if q.Mean != 5*time.Second || q.Max != 6*time.Second {
+		t.Errorf("queue mean/max %v/%v, want 5s/6s", q.Mean, q.Max)
+	}
+	var share float64
+	for _, p := range phases {
+		share += p.Share
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Errorf("shares sum to %v, want 1", share)
+	}
+	// Grand total across phases equals summed root durations.
+	var grand time.Duration
+	for _, p := range phases {
+		grand += p.Total
+	}
+	if grand != 15*time.Second {
+		t.Errorf("grand total %v, want 15s", grand)
+	}
+}
+
+func TestPhaseBreakdownEmpty(t *testing.T) {
+	if got := PhaseBreakdown(nil); len(got) != 0 {
+		t.Errorf("breakdown of nothing = %+v", got)
+	}
+}
+
+func TestSlowestN(t *testing.T) {
+	trees := BuildTrees([]Record{
+		rec(1, 1, 0, PhaseSchedule, 0, 3),
+		rec(2, 2, 0, PhaseSchedule, 1, 9),
+		rec(3, 3, 0, PhaseSchedule, 2, 6),
+	})
+	slow := SlowestN(trees, 2)
+	if len(slow) != 2 || slow[0].Root.Trace != 2 || slow[1].Root.Trace != 3 {
+		t.Fatalf("SlowestN order wrong: %+v", slow)
+	}
+	if got := SlowestN(trees, 99); len(got) != 3 {
+		t.Errorf("SlowestN over-asked returned %d", len(got))
+	}
+	// Input order must be untouched.
+	if trees[0].Root.Trace != 1 {
+		t.Error("SlowestN mutated its input")
+	}
+}

@@ -1,0 +1,262 @@
+// Package trace is the reproduction's observability layer: span-based
+// distributed tracing with per-phase latency attribution across the
+// broker mesh. The paper's evaluation reports only end-to-end response
+// and throughput curves; this package answers *why* a decision point
+// saturates where it does — how much of each request went to the WAN,
+// to the emulated GT3/GT4 stack, to server-side queueing, and to the
+// GRUBER engine itself.
+//
+// The design follows the repo's determinism rules (DESIGN.md §6):
+//
+//   - Timestamps come exclusively from a vtime.Clock, never the wall
+//     clock, so spans live on the same virtual timeline as the
+//     measurements they explain.
+//   - Span and trace IDs are drawn from a named netsim.Stream per
+//     tracer, so a traced run under a Manual clock produces a
+//     byte-identical trace for the same seed (given deterministic call
+//     order, which Manual-clock tests arrange).
+//   - A nil *Tracer is fully usable: every method is a no-op on a nil
+//     receiver and allocates nothing, so instrumented hot paths cost a
+//     single pointer test when tracing is disabled.
+//
+// Context propagates in-process as a SpanContext value and across the
+// emulated wire inside the RPC envelope (see internal/wire), exactly as
+// real tracing systems piggyback on RPC metadata.
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"digruber/internal/netsim"
+	"digruber/internal/vtime"
+)
+
+// Canonical span names for the instrumented request path. The analyzer
+// treats names as opaque; these constants just keep the instrumenting
+// packages and reports consistent.
+const (
+	// PhaseSchedule is the client-side root span of one scheduling
+	// interaction (digruber.Client.Schedule); its duration equals the
+	// Decision.Response the client reports.
+	PhaseSchedule = "client.schedule"
+	// PhaseQuery wraps the site-load query RPC (first round trip).
+	PhaseQuery = "client.query"
+	// PhaseSelect is the client-side site-selector run.
+	PhaseSelect = "client.select"
+	// PhaseReport wraps the dispatch-report RPC (second round trip).
+	PhaseReport = "client.report"
+	// PhaseFallback is the degradation path: random site selection after
+	// the broker failed to answer.
+	PhaseFallback = "client.fallback"
+
+	// PhaseAttempt is one RPC attempt (wire.Client), including both WAN
+	// directions and the wait for the server.
+	PhaseAttempt = "wire.attempt"
+	// PhaseBackoff is the pause between retry attempts.
+	PhaseBackoff = "wire.backoff"
+	// PhaseWANOut and PhaseWANIn are the emulated wide-area propagation
+	// delays, one per direction.
+	PhaseWANOut = "wan.out"
+	PhaseWANIn  = "wan.in"
+
+	// PhaseQueue is the server-side wait for a container worker.
+	PhaseQueue = "server.queue"
+	// PhaseHandle is the registered handler's execution.
+	PhaseHandle = "server.handle"
+	// PhaseStack is the emulated GT3/GT4 container cost (auth + SOAP +
+	// marshalling, StackProfile.ServiceTime).
+	PhaseStack = "server.stack"
+
+	// PhaseEngineSelect is the GRUBER engine evaluating every site for a
+	// query; PhaseEngineMerge folds a peer's dispatch batch in;
+	// PhaseEngineRecord books a locally-brokered dispatch.
+	PhaseEngineSelect = "engine.select"
+	PhaseEngineMerge  = "engine.merge"
+	PhaseEngineRecord = "engine.record"
+
+	// PhaseMeshRound is one full exchange round (root span);
+	// PhaseMeshExchange is the per-peer call within it, its Note naming
+	// the peer — attributing staleness to propagation lag per peer.
+	PhaseMeshRound    = "mesh.round"
+	PhaseMeshExchange = "mesh.exchange"
+)
+
+// SpanContext identifies a position in a trace: the trace and the
+// current span. The zero value means "untraced" and is safe to pass
+// anywhere a context is expected.
+type SpanContext struct {
+	Trace uint64
+	Span  uint64
+}
+
+// Valid reports whether the context belongs to a live trace.
+func (c SpanContext) Valid() bool { return c.Trace != 0 }
+
+// Config wires one Tracer. Every field is required; New returns nil
+// (tracing disabled) when Clock or Collector is missing.
+type Config struct {
+	// Actor names the component recording spans (a decision point or
+	// client identity); it is stamped on every record.
+	Actor string
+	// Seed derives the tracer's ID stream: netsim.Stream(Seed,
+	// "trace.ids/"+Actor). Same seed, same actor, same call order →
+	// identical IDs.
+	Seed int64
+	// Clock supplies every timestamp.
+	Clock vtime.Clock
+	// Collector receives finished spans.
+	Collector *Collector
+}
+
+// Tracer creates spans for one actor. A nil *Tracer is valid and inert:
+// all methods no-op, which is the disabled fast path.
+type Tracer struct {
+	actor string
+	clock vtime.Clock
+	col   *Collector
+
+	mu  sync.Mutex
+	ids interface{ Uint64() uint64 }
+}
+
+// New builds a tracer, or returns nil (disabled) if the config lacks a
+// clock or collector.
+func New(cfg Config) *Tracer {
+	if cfg.Clock == nil || cfg.Collector == nil {
+		return nil
+	}
+	return &Tracer{
+		actor: cfg.Actor,
+		clock: cfg.Clock,
+		col:   cfg.Collector,
+		ids:   netsim.Stream(cfg.Seed, "trace.ids/"+cfg.Actor),
+	}
+}
+
+// id draws the next nonzero span/trace ID from the tracer's stream.
+func (t *Tracer) id() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if v := t.ids.Uint64(); v != 0 {
+			return v
+		}
+	}
+}
+
+// Span is one in-progress timed phase. A nil *Span is valid and inert.
+type Span struct {
+	t      *Tracer
+	ctx    SpanContext
+	parent uint64
+	name   string
+	note   string
+	start  time.Time
+}
+
+// StartTrace opens a new trace with a root span of the given name.
+// Returns nil when the tracer is nil.
+func (t *Tracer) StartTrace(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.StartTraceAt(name, t.clock.Now())
+}
+
+// StartTraceAt is StartTrace with an explicit start time, for callers
+// that must share one clock reading with their own bookkeeping.
+func (t *Tracer) StartTraceAt(name string, at time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.id()
+	return &Span{t: t, ctx: SpanContext{Trace: id, Span: t.id()}, name: name, start: at}
+}
+
+// StartSpan opens a child span under parent. Returns nil when the
+// tracer is nil or the parent context is untraced — so instrumentation
+// composes: an untraced request stays untraced through every layer.
+func (t *Tracer) StartSpan(parent SpanContext, name string) *Span {
+	if t == nil || !parent.Valid() {
+		return nil
+	}
+	return t.StartSpanAt(parent, name, t.clock.Now())
+}
+
+// StartSpanAt is StartSpan with an explicit start time.
+func (t *Tracer) StartSpanAt(parent SpanContext, name string, at time.Time) *Span {
+	if t == nil || !parent.Valid() {
+		return nil
+	}
+	return &Span{
+		t:      t,
+		ctx:    SpanContext{Trace: parent.Trace, Span: t.id()},
+		parent: parent.Span,
+		name:   name,
+		start:  at,
+	}
+}
+
+// RecordSpan records an already-elapsed phase (e.g. time spent waiting
+// in a queue, measured after the fact) as a child of parent.
+func (t *Tracer) RecordSpan(parent SpanContext, name string, start, end time.Time) {
+	if t == nil || !parent.Valid() {
+		return
+	}
+	if end.Before(start) {
+		end = start
+	}
+	t.col.add(Record{
+		Trace:    parent.Trace,
+		Span:     t.id(),
+		Parent:   parent.Span,
+		Name:     name,
+		Actor:    t.actor,
+		Start:    start,
+		Duration: end.Sub(start),
+	})
+}
+
+// Context returns the span's identity for propagation (zero for nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.ctx
+}
+
+// SetNote attaches a short annotation (a method name, a peer, a job ID).
+func (s *Span) SetNote(note string) {
+	if s != nil {
+		s.note = note
+	}
+}
+
+// End closes the span at the tracer's current clock reading.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndAt(s.t.clock.Now())
+}
+
+// EndAt closes the span at an explicit time and emits its record.
+func (s *Span) EndAt(now time.Time) {
+	if s == nil {
+		return
+	}
+	if now.Before(s.start) {
+		now = s.start
+	}
+	s.t.col.add(Record{
+		Trace:    s.ctx.Trace,
+		Span:     s.ctx.Span,
+		Parent:   s.parent,
+		Name:     s.name,
+		Actor:    s.t.actor,
+		Note:     s.note,
+		Start:    s.start,
+		Duration: now.Sub(s.start),
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"digruber/internal/trace"
 	"digruber/internal/vtime"
 )
 
@@ -59,6 +60,48 @@ func BenchmarkRPCLargePayload(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRPCRoundTripTraced measures the enabled-tracing cost of the
+// in-memory round trip: a fresh trace per call, with the client attempt
+// span and the server's queue/handle spans landing in a shared
+// collector. Compare against BenchmarkRPCRoundTripMem (the nil-tracer
+// fast path) for the overhead of turning tracing on.
+func BenchmarkRPCRoundTripTraced(b *testing.B) {
+	clock := vtime.NewReal()
+	col := trace.NewCollector(0)
+	cliTracer := trace.New(trace.Config{Actor: "c", Seed: 1, Clock: clock, Collector: col})
+	srvTracer := trace.New(trace.Config{Actor: "s", Seed: 2, Clock: clock, Collector: col})
+
+	mem := NewMem()
+	srv := NewServer("bench-srv", Instant(), clock)
+	srv.SetTracer(srvTracer)
+	Handle(srv, "echo", func(r echoReq) (echoResp, error) { return echoResp(r), nil })
+	l, err := mem.Listen("bench-traced")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer func() { srv.Close(); l.Close() }()
+	cli := NewClient(ClientConfig{Node: "c", ServerNode: "s", Addr: "bench-traced", Transport: mem, Clock: clock, Tracer: cliTracer})
+	defer cli.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if col.Len() >= DefaultTracedBenchResetAt {
+			col.Reset() // keep measuring appends, not the drop path
+		}
+		root := cliTracer.StartTrace(trace.PhaseSchedule)
+		if _, err := CallCtx[echoReq, echoResp](cli, root.Context(), "echo", echoReq{Msg: "x"}, time.Second); err != nil {
+			b.Fatal(err)
+		}
+		root.End()
+	}
+}
+
+// DefaultTracedBenchResetAt bounds the collector growth during the
+// traced benchmark without ever reaching the drop path.
+const DefaultTracedBenchResetAt = 1 << 18
 
 // BenchmarkRPCRoundTripTCP measures the same floor over loopback TCP,
 // the cmd/ binaries' deployment mode.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"digruber/internal/netsim"
+	"digruber/internal/trace"
 	"digruber/internal/vtime"
 )
 
@@ -25,6 +26,7 @@ type Client struct {
 	network    *netsim.Network
 	clock      vtime.Clock
 	retry      RetryPolicy
+	tracer     *trace.Tracer
 
 	mu      sync.Mutex
 	conn    Conn
@@ -55,6 +57,10 @@ type ClientConfig struct {
 	// Retry optionally retries fast-failing calls (refused, connection
 	// lost, shed). The zero value disables retry.
 	Retry RetryPolicy
+	// Tracer, when non-nil, records per-attempt and WAN-transit spans
+	// for calls carrying a trace context (CallCtx). Nil disables tracing
+	// at zero cost.
+	Tracer *trace.Tracer
 }
 
 // RetryPolicy bounds automatic retry of failed calls. Only failures the
@@ -121,6 +127,7 @@ func NewClient(cfg ClientConfig) *Client {
 		network:    cfg.Network,
 		clock:      cfg.Clock,
 		retry:      cfg.Retry,
+		tracer:     cfg.Tracer,
 		pending:    make(map[uint64]chan frame),
 	}
 }
@@ -199,15 +206,26 @@ const connLostPrefix = "wire: connection lost: "
 // Classify); when a RetryPolicy is configured, fast retryable failures
 // are re-attempted with exponential backoff before surfacing.
 func (c *Client) Call(method string, body []byte, timeout time.Duration) ([]byte, error) {
-	resp, err := c.callOnce(method, body, timeout)
+	return c.CallCtx(trace.SpanContext{}, method, body, timeout)
+}
+
+// CallCtx is Call carrying a trace context: each attempt, each WAN
+// transit and each retry backoff becomes a child span of parent, and
+// the context rides the request frame so the server's own spans join
+// the same trace. With a zero parent (or no Tracer configured) CallCtx
+// behaves exactly like Call.
+func (c *Client) CallCtx(parent trace.SpanContext, method string, body []byte, timeout time.Duration) ([]byte, error) {
+	resp, err := c.callOnce(parent, method, body, timeout)
 	if err == nil || !c.retry.enabled() {
 		return resp, err
 	}
 	for attempt := 1; attempt < c.retry.Attempts && c.retry.retryable(err); attempt++ {
 		if d := c.retry.backoff(attempt); d > 0 {
+			bs := c.tracer.StartSpan(parent, trace.PhaseBackoff)
 			c.clock.Sleep(d)
+			bs.End()
 		}
-		resp, err = c.callOnce(method, body, timeout)
+		resp, err = c.callOnce(parent, method, body, timeout)
 		if err == nil {
 			return resp, nil
 		}
@@ -215,8 +233,17 @@ func (c *Client) Call(method string, body []byte, timeout time.Duration) ([]byte
 	return resp, err
 }
 
-// callOnce is a single RPC attempt.
-func (c *Client) callOnce(method string, body []byte, timeout time.Duration) ([]byte, error) {
+// callOnce is a single RPC attempt, wrapped in its attempt span.
+func (c *Client) callOnce(parent trace.SpanContext, method string, body []byte, timeout time.Duration) ([]byte, error) {
+	attempt := c.tracer.StartSpan(parent, trace.PhaseAttempt)
+	attempt.SetNote(method)
+	resp, err := c.attemptCall(attempt.Context(), method, body, timeout)
+	attempt.End()
+	return resp, err
+}
+
+// attemptCall performs the attempt under ctx (zero when untraced).
+func (c *Client) attemptCall(ctx trace.SpanContext, method string, body []byte, timeout time.Duration) ([]byte, error) {
 	start := c.clock.Now()
 	deadline := start.Add(timeout)
 
@@ -224,7 +251,9 @@ func (c *Client) callOnce(method string, body []byte, timeout time.Duration) ([]
 	if c.network != nil {
 		d := c.network.Delay(c.node, c.serverNode)
 		if d > 0 {
+			ws := c.tracer.StartSpan(ctx, trace.PhaseWANOut)
 			c.clock.Sleep(d)
+			ws.End()
 		}
 		if c.network.LostMsg(c.node, c.serverNode, c.clock.Now()) {
 			// The request vanished in the WAN; all the client observes is
@@ -248,7 +277,8 @@ func (c *Client) callOnce(method string, body []byte, timeout time.Duration) ([]
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err := enc.Encode(frame{ID: id, Kind: frameRequest, Method: method, Body: body})
+	err := enc.Encode(frame{ID: id, Kind: frameRequest, Method: method, Body: body,
+		Trace: ctx.Trace, Span: ctx.Span})
 	c.wmu.Unlock()
 	if err != nil {
 		c.forget(id)
@@ -280,7 +310,9 @@ func (c *Client) callOnce(method string, body []byte, timeout time.Duration) ([]
 			}
 			d := c.network.Delay(c.serverNode, c.node)
 			if d > 0 {
+				ws := c.tracer.StartSpan(ctx, trace.PhaseWANIn)
 				c.clock.Sleep(d)
+				ws.End()
 			}
 		}
 		if c.clock.Now().After(deadline) {
@@ -321,12 +353,18 @@ func (c *Client) Close() {
 // Call performs a typed RPC through c: req is gob-encoded, the response
 // is decoded into a Resp value.
 func Call[Req, Resp any](c *Client, method string, req Req, timeout time.Duration) (Resp, error) {
+	return CallCtx[Req, Resp](c, trace.SpanContext{}, method, req, timeout)
+}
+
+// CallCtx is the typed form of Client.CallCtx: a traced RPC whose
+// attempt and WAN spans are children of parent.
+func CallCtx[Req, Resp any](c *Client, parent trace.SpanContext, method string, req Req, timeout time.Duration) (Resp, error) {
 	var resp Resp
 	body, err := encodeBody(req)
 	if err != nil {
 		return resp, err
 	}
-	respBody, err := c.Call(method, body, timeout)
+	respBody, err := c.CallCtx(parent, method, body, timeout)
 	if err != nil {
 		return resp, err
 	}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"digruber/internal/stats"
+	"digruber/internal/trace"
 	"digruber/internal/vtime"
 )
 
@@ -15,15 +17,29 @@ import (
 // handlers without touching bytes.
 type Handler func(body []byte) ([]byte, error)
 
+// Ctx carries per-request server-side context into handlers. Span is
+// the trace context the handler runs under (zero when the request is
+// untraced); handlers pass it down so engine-level spans attach to the
+// caller's trace.
+type Ctx struct {
+	Span trace.SpanContext
+}
+
+// CtxHandler is a Handler that also receives the request context.
+type CtxHandler func(ctx Ctx, body []byte) ([]byte, error)
+
 // Server is an RPC server fronted by an emulated web-service container
 // (see StackProfile). Register handlers, then call Serve with a Listener.
 type Server struct {
 	node    string // node name, for WAN delay bookkeeping and reports
 	profile StackProfile
 	clock   vtime.Clock
+	// tracer records server-side spans for traced requests; set it with
+	// SetTracer before Serve. Nil disables tracing at zero cost.
+	tracer *trace.Tracer
 
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]CtxHandler
 	closed   bool
 	conns    map[*serverConn]struct{}
 
@@ -36,6 +52,7 @@ type Server struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	shed      atomic.Int64
+	connLost  atomic.Int64
 	inflight  atomic.Int64
 
 	statMu  sync.Mutex
@@ -45,6 +62,9 @@ type Server struct {
 type job struct {
 	conn *serverConn
 	f    frame
+	// enqueuedAt is set for traced requests only, to measure the wait
+	// for a container worker as a server.queue span.
+	enqueuedAt time.Time
 }
 
 // NewServer returns a server for the given emulated node name, container
@@ -54,7 +74,7 @@ func NewServer(node string, profile StackProfile, clock vtime.Clock) *Server {
 		node:     node,
 		profile:  profile,
 		clock:    clock,
-		handlers: make(map[string]Handler),
+		handlers: make(map[string]CtxHandler),
 		conns:    make(map[*serverConn]struct{}),
 		work:     make(chan job, profile.queueLimit()),
 		closeCh:  make(chan struct{}),
@@ -72,9 +92,31 @@ func (s *Server) Node() string { return s.node }
 // Profile returns the container profile the server runs under.
 func (s *Server) Profile() StackProfile { return s.profile }
 
+// SetTracer installs the tracer server-side spans are recorded against.
+// Call it before Serve; requests in flight during a swap may record
+// against either tracer.
+func (s *Server) SetTracer(t *trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
+}
+
+func (s *Server) getTracer() *trace.Tracer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tracer
+}
+
 // Register installs a raw handler for a method name. Registering after
 // Serve has started is allowed.
 func (s *Server) Register(method string, h Handler) {
+	s.RegisterCtx(method, func(_ Ctx, body []byte) ([]byte, error) {
+		return h(body)
+	})
+}
+
+// RegisterCtx installs a raw context-aware handler for a method name.
+func (s *Server) RegisterCtx(method string, h CtxHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[method] = h
@@ -83,12 +125,20 @@ func (s *Server) Register(method string, h Handler) {
 // Handle registers a typed handler: the request body is decoded into Req,
 // and the returned Resp is encoded as the response body.
 func Handle[Req, Resp any](s *Server, method string, fn func(Req) (Resp, error)) {
-	s.Register(method, func(body []byte) ([]byte, error) {
+	HandleCtx(s, method, func(_ Ctx, req Req) (Resp, error) {
+		return fn(req)
+	})
+}
+
+// HandleCtx registers a typed handler that also receives the request
+// context, so it can attach further spans to the caller's trace.
+func HandleCtx[Req, Resp any](s *Server, method string, fn func(Ctx, Req) (Resp, error)) {
+	s.RegisterCtx(method, func(ctx Ctx, body []byte) ([]byte, error) {
 		var req Req
 		if err := decodeBody(body, &req); err != nil {
 			return nil, err
 		}
-		resp, err := fn(req)
+		resp, err := fn(ctx, req)
 		if err != nil {
 			return nil, err
 		}
@@ -151,8 +201,12 @@ func (s *Server) serveConn(raw Conn) {
 			continue
 		}
 		s.received.Add(1)
+		j := job{conn: conn, f: f}
+		if f.Trace != 0 && s.getTracer() != nil {
+			j.enqueuedAt = s.clock.Now()
+		}
 		select {
-		case s.work <- job{conn: conn, f: f}:
+		case s.work <- j:
 		default:
 			// Accept queue full: shed load, as a saturated container
 			// effectively does once its thread and backlog limits are hit.
@@ -180,14 +234,23 @@ func (s *Server) process(j job) {
 
 	s.mu.RLock()
 	h, ok := s.handlers[j.f.Method]
+	tracer := s.tracer
 	s.mu.RUnlock()
+
+	parent := trace.SpanContext{Trace: j.f.Trace, Span: j.f.Span}
+	if !j.enqueuedAt.IsZero() {
+		tracer.RecordSpan(parent, trace.PhaseQueue, j.enqueuedAt, s.clock.Now())
+	}
 
 	var respBody []byte
 	var errStr string
 	if !ok {
 		errStr = fmt.Sprintf("wire: unknown method %q", j.f.Method)
 	} else {
-		body, err := h(j.f.Body)
+		hs := tracer.StartSpan(parent, trace.PhaseHandle)
+		hs.SetNote(j.f.Method)
+		body, err := h(Ctx{Span: hs.Context()}, j.f.Body)
+		hs.End()
 		if err != nil {
 			errStr = err.Error()
 		} else {
@@ -200,7 +263,9 @@ func (s *Server) process(j job) {
 	// auth+SOAP cost shows up.
 	st := s.profile.ServiceTime(len(j.f.Body) + len(respBody))
 	if st > 0 {
+		ss := tracer.StartSpan(parent, trace.PhaseStack)
 		s.clock.Sleep(st)
+		ss.End()
 	}
 	s.statMu.Lock()
 	s.service.Add(st.Seconds())
@@ -211,7 +276,11 @@ func (s *Server) process(j job) {
 	} else {
 		s.completed.Add(1)
 	}
-	_ = j.conn.send(frame{ID: j.f.ID, Kind: frameResponse, Body: respBody, Err: errStr})
+	if err := j.conn.send(frame{ID: j.f.ID, Kind: frameResponse, Body: respBody, Err: errStr}); err != nil {
+		// The response had nowhere to go: the caller hung up (timed out,
+		// failed over, or died) before the container finished.
+		s.connLost.Add(1)
+	}
 }
 
 // Close stops the workers and severs every active connection, as a
@@ -241,8 +310,14 @@ type Stats struct {
 	Completed int64
 	Failed    int64
 	Shed      int64
-	InFlight  int64
-	Queued    int
+	// ConnLost counts responses the server computed but could not
+	// deliver because the connection was gone — work done for a caller
+	// that had already timed out or failed over. Together with Shed
+	// (rejected before processing) and Completed (served) this
+	// partitions where every accepted request's effort went.
+	ConnLost int64
+	InFlight int64
+	Queued   int
 	// ServiceMean is the mean emulated service time in seconds.
 	ServiceMean float64
 }
@@ -257,6 +332,7 @@ func (s *Server) Stats() Stats {
 		Completed:   s.completed.Load(),
 		Failed:      s.failed.Load(),
 		Shed:        s.shed.Load(),
+		ConnLost:    s.connLost.Load(),
 		InFlight:    s.inflight.Load(),
 		Queued:      len(s.work),
 		ServiceMean: mean,

@@ -114,12 +114,20 @@ func Classify(err error) FailureClass {
 
 // frame is the single on-the-wire message type; Kind discriminates
 // requests from responses.
+//
+// Trace and Span carry the caller's tracing context so server-side
+// spans (queueing, handler, stack emulation) attach to the client's
+// trace — the envelope is how context crosses the emulated WAN. Both
+// are zero for untraced calls, and gob omits zero-valued fields, so an
+// untraced frame is byte-identical to one from before tracing existed.
 type frame struct {
 	ID     uint64
 	Kind   byte // frameRequest or frameResponse
 	Method string
 	Body   []byte
 	Err    string
+	Trace  uint64
+	Span   uint64
 }
 
 const (
