@@ -25,6 +25,7 @@ import (
 
 	"digruber/internal/digruber"
 	"digruber/internal/grid"
+	"digruber/internal/tsdb"
 	"digruber/internal/usla"
 	"digruber/internal/vtime"
 	"digruber/internal/wire"
@@ -45,6 +46,7 @@ func main() {
 		sites    = flag.String("sites", "", "site inventory file (name totalCPUs freeCPUs per line)")
 		uslas    = flag.String("uslas", "", "USLA policy file (usla text format)")
 		status   = flag.Duration("status", time.Minute, "status log period (0 disables)")
+		sample   = flag.Duration("sample", 15*time.Second, "metrics sampling period (0 disables the metrics plane)")
 	)
 	var peers peerList
 	flag.Var(&peers, "peer", "peer broker as name=host:port (repeatable)")
@@ -66,6 +68,10 @@ func main() {
 	}
 
 	clock := vtime.NewReal()
+	var reg *tsdb.Registry
+	if *sample > 0 {
+		reg = tsdb.New(0)
+	}
 	dp, err := digruber.New(digruber.Config{
 		Name:             *name,
 		Node:             *name,
@@ -76,8 +82,16 @@ func main() {
 		Policies:         policies,
 		ExchangeInterval: *exchange,
 		Strategy:         strategyByName(*strategy),
+		Metrics:          reg,
 	})
 	fatalIf(err)
+	if reg != nil {
+		// The sampled series back the Status RPC's metrics snapshot
+		// (StatusArgs.WithMetrics — what cmd/digruber-top polls).
+		sampler := tsdb.NewSampler(reg, clock, *sample)
+		sampler.Start()
+		defer sampler.Stop()
+	}
 
 	if *sites != "" {
 		statuses, err := loadSites(*sites)

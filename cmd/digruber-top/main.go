@@ -1,0 +1,231 @@
+// Command digruber-top is a fleet monitor for DI-GRUBER decision
+// points: it polls every broker's Status RPC (with the metrics
+// snapshot) on a fixed interval and renders a live table of per-broker
+// load, saturation, peer health and view divergence — top(1) for a
+// brokering mesh.
+//
+// Example against a three-broker mesh:
+//
+//	digruber-top -broker dp-0=127.0.0.1:7000 -broker dp-1=127.0.0.1:7001 \
+//	    -broker dp-2=127.0.0.1:7002 -interval 5s
+//
+// Every poll is also recorded into a local time-series registry; with
+// -dump the aligned series are written as JSONL at exit for offline
+// analysis (the same format cmd/experiments -metrics-out emits).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"digruber/internal/digruber"
+	"digruber/internal/tsdb"
+	"digruber/internal/vtime"
+	"digruber/internal/wire"
+)
+
+type brokerList []string
+
+func (b *brokerList) String() string     { return strings.Join(*b, ",") }
+func (b *brokerList) Set(v string) error { *b = append(*b, v); return nil }
+
+// broker is one polled decision point.
+type broker struct {
+	name   string
+	addr   string
+	client *wire.Client
+
+	up   bool
+	last digruber.StatusReply
+}
+
+func main() {
+	var (
+		interval   = flag.Duration("interval", 5*time.Second, "poll period")
+		iterations = flag.Int("n", 0, "number of polls (0 = until interrupted)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-poll RPC timeout")
+		dump       = flag.String("dump", "", "write collected time series as JSONL to this file at exit")
+		plain      = flag.Bool("plain", false, "append tables instead of redrawing in place")
+	)
+	var specs brokerList
+	flag.Var(&specs, "broker", "decision point as name=host:port (repeatable)")
+	flag.Parse()
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "digruber-top: no brokers; use -broker name=host:port")
+		os.Exit(2)
+	}
+
+	clock := vtime.NewReal()
+	brokers := make([]*broker, 0, len(specs))
+	for _, s := range specs {
+		parts := strings.SplitN(s, "=", 2)
+		if len(parts) != 2 {
+			fmt.Fprintf(os.Stderr, "digruber-top: bad -broker %q, want name=host:port\n", s)
+			os.Exit(2)
+		}
+		brokers = append(brokers, &broker{
+			name: parts[0],
+			addr: parts[1],
+			client: wire.NewClient(wire.ClientConfig{
+				Node:       "digruber-top",
+				ServerNode: parts[0],
+				Addr:       parts[1],
+				Transport:  wire.TCP{},
+				Clock:      clock,
+			}),
+		})
+	}
+	sort.Slice(brokers, func(i, j int) bool { return brokers[i].name < brokers[j].name })
+	defer func() {
+		for _, b := range brokers {
+			b.client.Close()
+		}
+	}()
+
+	// Every poll lands in a local registry, so the fleet's history can
+	// be dumped as aligned series (-dump) just like an experiment run's.
+	reg := tsdb.New(0)
+	gauges := make(map[string]*tsdb.Gauge)
+	gauge := func(name string) *tsdb.Gauge {
+		g, ok := gauges[name]
+		if !ok {
+			g = reg.Gauge(name)
+			gauges[name] = g
+		}
+		return g
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	tk := clock.NewTicker(*interval)
+	defer tk.Stop()
+
+	for polls := 0; ; {
+		pollAll(brokers, *timeout)
+		record(brokers, reg, gauge, clock.Now())
+		render(os.Stdout, brokers, *plain)
+		polls++
+		if *iterations > 0 && polls >= *iterations {
+			break
+		}
+		select {
+		case <-tk.C():
+		case <-sig:
+			fmt.Println()
+			goto done
+		}
+	}
+done:
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "digruber-top:", err)
+			os.Exit(1)
+		}
+		werr := reg.WriteJSONL(f)
+		cerr := f.Close()
+		if werr != nil || cerr != nil {
+			fmt.Fprintln(os.Stderr, "digruber-top: dump failed")
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d series to %s\n", len(reg.SeriesNames()), *dump)
+	}
+}
+
+// pollAll fetches every broker's status (with metrics) sequentially —
+// a handful of brokers at human refresh rates doesn't need fan-out.
+func pollAll(brokers []*broker, timeout time.Duration) {
+	for _, b := range brokers {
+		st, err := wire.Call[digruber.StatusArgs, digruber.StatusReply](
+			b.client, digruber.MethodStatus, digruber.StatusArgs{WithMetrics: true}, timeout)
+		if err != nil {
+			b.up = false
+			continue
+		}
+		b.up = true
+		b.last = st
+	}
+}
+
+// metric pulls one series' value out of a status metrics snapshot.
+func metric(st digruber.StatusReply, series string) (float64, bool) {
+	for _, s := range st.Metrics {
+		if s.Name == series {
+			return s.V, true
+		}
+	}
+	return 0, false
+}
+
+// record samples the fleet's latest poll into the local registry.
+func record(brokers []*broker, reg *tsdb.Registry, gauge func(string) *tsdb.Gauge, now time.Time) {
+	for _, b := range brokers {
+		p := "top/" + b.name + "/"
+		if !b.up {
+			gauge(p + "up").Set(0)
+			continue
+		}
+		st := b.last
+		gauge(p + "up").Set(1)
+		gauge(p + "rate_qps").Set(st.ObservedRate)
+		gauge(p + "capacity_qps").Set(st.CapacityRate)
+		gauge(p + "inflight").Set(float64(st.InFlight))
+		gauge(p + "queue").Set(float64(st.Queued))
+		gauge(p + "shed").Set(float64(st.Shed))
+		gauge(p + "conn_lost").Set(float64(st.ConnLost))
+		if div, ok := metric(st, "dp/"+st.Name+"/engine/divergence_l1"); ok {
+			gauge(p + "divergence_l1").Set(div)
+		}
+	}
+	reg.Sample(now)
+}
+
+// render draws the fleet table.
+func render(w *os.File, brokers []*broker, plain bool) {
+	if !plain {
+		fmt.Fprint(w, "\033[H\033[2J")
+	}
+	fmt.Fprintf(w, "digruber-top — %d brokers\n", len(brokers))
+	fmt.Fprintf(w, "%-10s %-5s %8s %8s %6s %6s %8s %8s %12s %-12s\n",
+		"NAME", "STATE", "RATE", "CAP", "INFL", "QUEUE", "SHED", "LOST", "DIVERGENCE", "PEERS a/s/d")
+	for _, b := range brokers {
+		if !b.up {
+			fmt.Fprintf(w, "%-10s %-5s %8s %8s %6s %6s %8s %8s %12s %-12s\n",
+				b.name, "down", "-", "-", "-", "-", "-", "-", "-", "-")
+			continue
+		}
+		st := b.last
+		state := "ok"
+		if st.Saturated {
+			state = "sat"
+		}
+		div := "-"
+		if v, ok := metric(st, "dp/"+st.Name+"/engine/divergence_l1"); ok {
+			div = fmt.Sprintf("%.1f", v)
+		}
+		alive, suspect, dead := 0, 0, 0
+		for _, ph := range st.Peers {
+			switch ph.State {
+			case "alive":
+				alive++
+			case "suspect":
+				suspect++
+			default:
+				dead++
+			}
+		}
+		fmt.Fprintf(w, "%-10s %-5s %8.2f %8.2f %6d %6d %8d %8d %12s %d/%d/%d\n",
+			b.name, state, st.ObservedRate, st.CapacityRate,
+			st.InFlight, st.Queued, st.Shed, st.ConnLost, div,
+			alive, suspect, dead)
+	}
+	if plain {
+		fmt.Fprintln(w)
+	}
+}

@@ -8,6 +8,7 @@
 //	experiments -run all -scale full
 //	experiments -run fig5 -json > rows.jsonl
 //	experiments -run ext-trace-breakdown -trace-out trace.jsonl
+//	experiments -run ext-divergence -metrics-out metrics.jsonl
 //
 // The bench scale (default) shrinks the emulated environment so the
 // whole suite finishes in minutes; -scale full reproduces the paper's
@@ -34,12 +35,13 @@ import (
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list experiments and exit")
-		run      = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		scale    = flag.String("scale", "bench", "bench or full")
-		seed     = flag.Int64("seed", 0, "replay seed for workload and fault schedules (0 = default)")
-		jsonOut  = flag.Bool("json", false, "emit result rows as JSONL on stdout (text reports go to stderr)")
-		traceOut = flag.String("trace-out", "", "write ext-trace-breakdown's span records as JSONL to this file")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		run        = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		scale      = flag.String("scale", "bench", "bench or full")
+		seed       = flag.Int64("seed", 0, "replay seed for workload and fault schedules (0 = default)")
+		jsonOut    = flag.Bool("json", false, "emit result rows as JSONL on stdout (text reports go to stderr)")
+		traceOut   = flag.String("trace-out", "", "write ext-trace-breakdown's span records as JSONL to this file")
+		metricsOut = flag.String("metrics-out", "", "write ext-divergence's sampled time series as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -62,6 +64,7 @@ func main() {
 	}
 	sc.Seed = *seed
 	exp.TraceOutputPath = *traceOut
+	exp.MetricsOutputPath = *metricsOut
 
 	var selected []exp.Experiment
 	if *run == "all" {

@@ -60,6 +60,11 @@ type ClientConfig struct {
 	// retries, WAN transits, server queueing, engine work — lands in one
 	// trace. Nil disables tracing at zero cost.
 	Tracer *trace.Tracer
+	// WireMetrics, when non-nil, aggregates this client's RPC outcomes
+	// (attempts, retries, failure classes). Shared across a fleet of
+	// submission hosts it gives one set of fleet-wide counters; it also
+	// survives failover rebinds, which build fresh wire clients.
+	WireMetrics *wire.ClientMetrics
 }
 
 // DPRef names one decision point a client can bind to.
@@ -153,6 +158,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 			Network:    cfg.Network,
 			Clock:      cfg.Clock,
 			Tracer:     cfg.Tracer,
+			Metrics:    cfg.WireMetrics,
 		}),
 		selector: sel,
 		clock:    cfg.Clock,
@@ -335,6 +341,7 @@ func (c *Client) Rebind(dpName, dpNode, addr string) {
 		Network:    c.cfg.Network,
 		Clock:      c.cfg.Clock,
 		Tracer:     c.cfg.Tracer,
+		Metrics:    c.cfg.WireMetrics,
 	})
 	// Close the old connection in the background once its in-flight
 	// calls have had a chance to finish — unless Close arrives first, in

@@ -9,6 +9,7 @@ import (
 	"digruber/internal/gruber"
 	"digruber/internal/netsim"
 	"digruber/internal/trace"
+	"digruber/internal/tsdb"
 	"digruber/internal/usla"
 	"digruber/internal/vtime"
 	"digruber/internal/wire"
@@ -43,6 +44,10 @@ type Config struct {
 	// Tracer, when non-nil, records this decision point's server-side,
 	// engine and mesh-exchange spans. Nil disables tracing at zero cost.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, receives this decision point's instruments
+	// and gauges under dp/<Name>/ (see metrics.go). Nil disables
+	// metrics at zero cost, exactly like Tracer.
+	Metrics *tsdb.Registry
 }
 
 func (c *Config) setDefaults() error {
@@ -79,6 +84,7 @@ type DecisionPoint struct {
 	server   *wire.Server
 	listener wire.Listener
 	detector *SaturationDetector
+	metrics  *dpMetrics
 
 	mu        sync.Mutex
 	peers     map[string]*peerLink
@@ -86,8 +92,9 @@ type DecisionPoint struct {
 	ticker    vtime.Ticker
 	done      chan struct{}
 	serveDone chan struct{}
-	rounds    int // exchange rounds completed
-	sentRecs  int // dispatch records sent to peers
+	rounds    int       // exchange rounds completed
+	sentRecs  int       // dispatch records sent to peers
+	lastRound time.Time // completion time of the last exchange round
 }
 
 type peerLink struct {
@@ -179,6 +186,7 @@ func New(cfg Config) (*DecisionPoint, error) {
 	}
 	dp.engine.SetTracer(cfg.Tracer)
 	dp.server.SetTracer(cfg.Tracer)
+	dp.registerMetrics(cfg.Metrics)
 	dp.registerHandlers()
 	return dp, nil
 }
@@ -227,8 +235,12 @@ func (dp *DecisionPoint) registerHandlers() {
 		}
 		return ExchangeReply{Merged: merged}, nil
 	})
-	wire.Handle(dp.server, MethodStatus, func(StatusArgs) (StatusReply, error) {
-		return dp.Status(), nil
+	wire.Handle(dp.server, MethodStatus, func(a StatusArgs) (StatusReply, error) {
+		st := dp.Status()
+		if a.WithMetrics {
+			st.Metrics = dp.MetricsSnapshot()
+		}
+		return st, nil
 	})
 	wire.Handle(dp.server, MethodSnapshot, func(a SnapshotArgs) (SnapshotReply, error) {
 		dp.markPeerAlive(a.From)
@@ -311,7 +323,7 @@ func (dp *DecisionPoint) markPeerAlive(name string) {
 	dp.mu.Lock()
 	defer dp.mu.Unlock()
 	if l, ok := dp.peers[name]; ok {
-		l.markAliveLocked()
+		dp.peerAliveLocked(l)
 	}
 }
 
@@ -466,7 +478,6 @@ func (dp *DecisionPoint) ExchangeNow() int {
 	}
 	strategy := dp.cfg.Strategy
 	timeout := dp.cfg.PeerTimeout
-	interval := dp.cfg.ExchangeInterval
 	dp.mu.Unlock()
 
 	if strategy == NoExchange {
@@ -506,12 +517,12 @@ func (dp *DecisionPoint) ExchangeNow() int {
 			ex.End()
 			dp.mu.Lock()
 			if err == nil {
-				link.markAliveLocked()
+				dp.peerAliveLocked(link)
 				if hi > link.lastSent {
 					link.lastSent = hi
 				}
 			} else {
-				link.markFailedLocked(dp.cfg.Clock.Now(), interval)
+				dp.peerFailedLocked(link, dp.cfg.Clock.Now())
 			}
 			dp.mu.Unlock()
 			// On failure the batch is retransmitted next round (or next
@@ -521,9 +532,12 @@ func (dp *DecisionPoint) ExchangeNow() int {
 	}
 	wg.Wait()
 	round.End()
+	end := dp.cfg.Clock.Now()
+	dp.metrics.roundDur.Observe(end.Sub(now).Seconds())
 	dp.mu.Lock()
 	dp.rounds++
 	dp.sentRecs += sent
+	dp.lastRound = end
 	// Bound the local log: records every peer has acknowledged are never
 	// needed again. With no peers at all, nobody will ever ask, so the
 	// whole log can go.
@@ -628,6 +642,7 @@ func (dp *DecisionPoint) ResyncFromPeers() (int, string) {
 	timeout := dp.cfg.PeerTimeout
 	dp.mu.Unlock()
 	sort.Strings(names)
+	dp.metrics.resyncs.Inc()
 	for _, name := range names {
 		dp.mu.Lock()
 		link := dp.peers[name]
@@ -643,16 +658,18 @@ func (dp *DecisionPoint) ResyncFromPeers() (int, string) {
 		dp.mu.Lock()
 		if link != nil {
 			if err == nil {
-				link.markAliveLocked()
+				dp.peerAliveLocked(link)
 			} else {
-				link.markFailedLocked(dp.cfg.Clock.Now(), dp.cfg.ExchangeInterval)
+				dp.peerFailedLocked(link, dp.cfg.Clock.Now())
 			}
 		}
 		dp.mu.Unlock()
 		if err != nil {
 			continue
 		}
-		return dp.engine.ImportSnapshot(reply.Dispatches), name
+		imported := dp.engine.ImportSnapshot(reply.Dispatches)
+		dp.metrics.resyncImported.Add(int64(imported))
+		return imported, name
 	}
 	return 0, ""
 }

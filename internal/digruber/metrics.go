@@ -1,0 +1,182 @@
+package digruber
+
+import (
+	"time"
+
+	"digruber/internal/tsdb"
+	"digruber/internal/wire"
+)
+
+// dpMetrics holds the decision point's event-driven instruments. The
+// instruments come from the Config registry, so with no registry they
+// are all nil and every operation is a no-op (tsdb instruments are
+// nil-safe); the DecisionPoint never has to check whether metrics are
+// enabled.
+type dpMetrics struct {
+	// peerUp/peerDown count health-state transitions into and out of
+	// alive — edges, not per-call observations, so a steady mesh holds
+	// them flat however many exchanges run.
+	peerUp   *tsdb.Counter
+	peerDown *tsdb.Counter
+	// resyncs counts snapshot resyncs attempted; resyncImported sums
+	// the dispatch records they brought in.
+	resyncs        *tsdb.Counter
+	resyncImported *tsdb.Counter
+	// roundDur is the per-round wall (virtual) duration in seconds.
+	roundDur *tsdb.Histogram
+}
+
+// roundDurBuckets spans the mesh-round latencies the emulated stacks
+// produce: sub-second in-memory rounds up to rounds dragged out by a
+// full PeerTimeout on a dead link.
+var roundDurBuckets = []float64{0.1, 0.5, 1, 2, 5, 10, 30, 60}
+
+// registerMetrics wires the decision point's instruments and gauges
+// into reg under dp/<name>/. Safe with a nil registry: GaugeFunc is a
+// no-op and the returned instruments are nil (and therefore inert).
+func (dp *DecisionPoint) registerMetrics(reg *tsdb.Registry) {
+	p := dp.metricsPrefix()
+	dp.metrics = &dpMetrics{
+		peerUp:         reg.Counter(p + "mesh/peer_up"),
+		peerDown:       reg.Counter(p + "mesh/peer_down"),
+		resyncs:        reg.Counter(p + "mesh/resyncs"),
+		resyncImported: reg.Counter(p + "mesh/resync_imported"),
+		roundDur:       reg.Histogram(p+"mesh/round_s", roundDurBuckets),
+	}
+
+	// Service-stack gauges read through the DecisionPoint, not a
+	// captured *wire.Server: restarts build a fresh server, and these
+	// must follow it.
+	type statFn struct {
+		name string
+		v    func(wire.Stats) float64
+	}
+	for _, s := range []statFn{
+		{"wire/received", func(st wire.Stats) float64 { return float64(st.Received) }},
+		{"wire/completed", func(st wire.Stats) float64 { return float64(st.Completed) }},
+		{"wire/failed", func(st wire.Stats) float64 { return float64(st.Failed) }},
+		{"wire/shed", func(st wire.Stats) float64 { return float64(st.Shed) }},
+		{"wire/conn_lost", func(st wire.Stats) float64 { return float64(st.ConnLost) }},
+		{"wire/inflight", func(st wire.Stats) float64 { return float64(st.InFlight) }},
+		{"wire/queue", func(st wire.Stats) float64 { return float64(st.Queued) }},
+	} {
+		s := s
+		reg.GaugeFunc(p+s.name, func(now time.Time) float64 { return s.v(dp.serverStats()) })
+	}
+
+	// Mesh gauges.
+	reg.GaugeFunc(p+"mesh/rounds", func(now time.Time) float64 {
+		dp.mu.Lock()
+		defer dp.mu.Unlock()
+		return float64(dp.rounds)
+	})
+	reg.GaugeFunc(p+"mesh/sent_records", func(now time.Time) float64 {
+		dp.mu.Lock()
+		defer dp.mu.Unlock()
+		return float64(dp.sentRecs)
+	})
+	// round_lag_s is the time since the last completed exchange round —
+	// the staleness bound the exchange interval is supposed to enforce.
+	// Zero until the first round completes.
+	reg.GaugeFunc(p+"mesh/round_lag_s", func(now time.Time) float64 {
+		dp.mu.Lock()
+		defer dp.mu.Unlock()
+		if dp.lastRound.IsZero() {
+			return 0
+		}
+		return now.Sub(dp.lastRound).Seconds()
+	})
+	for _, s := range []struct {
+		name  string
+		state peerState
+	}{
+		{"mesh/peers_alive", peerAlive},
+		{"mesh/peers_suspect", peerSuspect},
+		{"mesh/peers_dead", peerDead},
+	} {
+		s := s
+		reg.GaugeFunc(p+s.name, func(now time.Time) float64 {
+			dp.mu.Lock()
+			defer dp.mu.Unlock()
+			n := 0
+			for _, l := range dp.peers {
+				if l.state == s.state {
+					n++
+				}
+			}
+			return float64(n)
+		})
+	}
+
+	// Engine gauges.
+	reg.GaugeFunc(p+"engine/queries", func(now time.Time) float64 {
+		return float64(dp.engine.Stats().Queries)
+	})
+	reg.GaugeFunc(p+"engine/local_dispatches", func(now time.Time) float64 {
+		return float64(dp.engine.Stats().LocalDispatches)
+	})
+	reg.GaugeFunc(p+"engine/remote_dispatches", func(now time.Time) float64 {
+		return float64(dp.engine.Stats().RemoteDispatches)
+	})
+	reg.GaugeFunc(p+"engine/sites", func(now time.Time) float64 {
+		return float64(dp.engine.NumSites())
+	})
+	reg.GaugeFunc(p+"engine/view_age_max_s", func(now time.Time) float64 {
+		return dp.engine.MaxViewAge(now).Seconds()
+	})
+	reg.GaugeFunc(p+"engine/view_age_mean_s", func(now time.Time) float64 {
+		return dp.engine.MeanViewAge(now).Seconds()
+	})
+}
+
+// metricsPrefix is the series-name prefix for everything this decision
+// point registers or snapshots: dp/<name>/.
+func (dp *DecisionPoint) metricsPrefix() string { return "dp/" + dp.cfg.Name + "/" }
+
+// serverStats snapshots the current server's counters (zero while
+// stopped).
+func (dp *DecisionPoint) serverStats() wire.Stats {
+	dp.mu.Lock()
+	server := dp.server
+	dp.mu.Unlock()
+	if server == nil {
+		return wire.Stats{}
+	}
+	return server.Stats()
+}
+
+// peerAliveLocked marks a peer alive and counts the transition edge.
+// Caller holds dp.mu.
+func (dp *DecisionPoint) peerAliveLocked(l *peerLink) {
+	was := l.state
+	l.markAliveLocked()
+	if was != peerAlive {
+		dp.metrics.peerUp.Inc()
+	}
+}
+
+// peerFailedLocked records a failed exchange and counts the edge out of
+// alive. Caller holds dp.mu.
+func (dp *DecisionPoint) peerFailedLocked(l *peerLink, now time.Time) {
+	was := l.state
+	l.markFailedLocked(now, dp.cfg.ExchangeInterval)
+	if was == peerAlive && l.state != peerAlive {
+		dp.metrics.peerDown.Inc()
+	}
+}
+
+// MetricsSnapshot returns the latest value of every series under this
+// decision point's prefix, for attaching to a StatusReply. Nil when no
+// registry is wired or nothing has been sampled yet — keeping the gob
+// frame byte-identical to a metrics-free build.
+func (dp *DecisionPoint) MetricsSnapshot() []MetricSample {
+	latest := dp.cfg.Metrics.LatestByPrefix(dp.metricsPrefix())
+	if len(latest) == 0 {
+		return nil
+	}
+	out := make([]MetricSample, len(latest))
+	for i, nv := range latest {
+		out[i] = MetricSample{Name: nv.Name, V: nv.V}
+	}
+	return out
+}

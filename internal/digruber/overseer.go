@@ -48,6 +48,44 @@ func (o *Overseer) Attach(name string, status func() StatusReply) {
 	o.points[name] = status
 }
 
+// Detach removes a decision point from the overseer's watch list (a
+// broker decommissioned by reconfiguration). Its recorded saturation
+// events are kept for post-hoc analysis, but its last status is dropped
+// so Recommend stops counting it. Detaching an unknown name is a no-op.
+func (o *Overseer) Detach(name string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.points, name)
+	delete(o.last, name)
+}
+
+// Last returns the most recently polled status for name (ok false if it
+// has never been polled or was detached).
+func (o *Overseer) Last(name string) (StatusReply, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st, ok := o.last[name]
+	return st, ok
+}
+
+// LastMetric returns one series' value from a decision point's latest
+// polled metrics snapshot (ok false when the point is unknown, was
+// polled without WithMetrics, or the series is absent).
+func (o *Overseer) LastMetric(dp, series string) (float64, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st, ok := o.last[dp]
+	if !ok {
+		return 0, false
+	}
+	for _, s := range st.Metrics {
+		if s.Name == series {
+			return s.V, true
+		}
+	}
+	return 0, false
+}
+
 // Poll queries every attached decision point once, recording saturation
 // events, and returns the statuses sorted by name.
 func (o *Overseer) Poll() []StatusReply {

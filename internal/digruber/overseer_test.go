@@ -1,0 +1,99 @@
+package digruber
+
+import (
+	"testing"
+
+	"digruber/internal/vtime"
+)
+
+// TestOverseerAttachOverwrites: attaching the same name replaces the
+// status source instead of duplicating it.
+func TestOverseerAttachOverwrites(t *testing.T) {
+	o := NewOverseer(vtime.NewManual(epoch))
+	o.Attach("dp-0", func() StatusReply { return StatusReply{Queries: 1} })
+	o.Attach("dp-0", func() StatusReply { return StatusReply{Queries: 2} })
+	replies := o.Poll()
+	if len(replies) != 1 {
+		t.Fatalf("poll returned %d replies, want 1", len(replies))
+	}
+	if replies[0].Queries != 2 {
+		t.Fatalf("queries = %d, want the second source's 2", replies[0].Queries)
+	}
+}
+
+// TestOverseerPollAfterDetach: a detached point is no longer polled and
+// its last status is dropped, but its recorded events survive.
+func TestOverseerPollAfterDetach(t *testing.T) {
+	o := NewOverseer(vtime.NewManual(epoch))
+	o.Attach("dp-0", func() StatusReply {
+		return StatusReply{Saturated: true, ObservedRate: 5, CapacityRate: 2}
+	})
+	o.Attach("dp-1", func() StatusReply { return StatusReply{} })
+	o.Poll()
+	if len(o.Events()) != 1 {
+		t.Fatalf("events = %d, want 1 saturation event", len(o.Events()))
+	}
+
+	o.Detach("dp-0")
+	replies := o.Poll()
+	if len(replies) != 1 || replies[0].Name != "dp-1" {
+		t.Fatalf("post-detach poll = %+v, want only dp-1", replies)
+	}
+	if _, ok := o.Last("dp-0"); ok {
+		t.Fatal("detached point still has a last status")
+	}
+	if len(o.Events()) != 1 {
+		t.Fatal("detach dropped recorded events")
+	}
+	if rec := o.Recommend(); rec.Current != 1 || len(rec.Saturated) != 0 {
+		t.Fatalf("recommendation still counts detached point: %+v", rec)
+	}
+	o.Detach("nope") // unknown name: no-op
+}
+
+// TestOverseerPollOrderingDeterministic: replies come back sorted by
+// name regardless of attach order or map iteration.
+func TestOverseerPollOrderingDeterministic(t *testing.T) {
+	o := NewOverseer(vtime.NewManual(epoch))
+	for _, name := range []string{"dp-7", "dp-0", "dp-3", "dp-10"} {
+		o.Attach(name, func() StatusReply { return StatusReply{} })
+	}
+	want := []string{"dp-0", "dp-10", "dp-3", "dp-7"} // lexicographic
+	for round := 0; round < 5; round++ {
+		replies := o.Poll()
+		if len(replies) != len(want) {
+			t.Fatalf("round %d: %d replies", round, len(replies))
+		}
+		for i, st := range replies {
+			if st.Name != want[i] {
+				t.Fatalf("round %d: replies[%d] = %s, want %s", round, i, st.Name, want[i])
+			}
+		}
+	}
+}
+
+// TestOverseerConsumesMetricsSnapshot: a status source carrying a
+// metrics snapshot (StatusArgs.WithMetrics over the wire, or a local
+// closure) is queryable through LastMetric after a poll.
+func TestOverseerConsumesMetricsSnapshot(t *testing.T) {
+	o := NewOverseer(vtime.NewManual(epoch))
+	o.Attach("dp-0", func() StatusReply {
+		return StatusReply{Metrics: []MetricSample{
+			{Name: "dp/dp-0/engine/divergence_l1", V: 12.5},
+			{Name: "dp/dp-0/wire/inflight", V: 3},
+		}}
+	})
+	if _, ok := o.LastMetric("dp-0", "dp/dp-0/engine/divergence_l1"); ok {
+		t.Fatal("metric visible before any poll")
+	}
+	o.Poll()
+	if v, ok := o.LastMetric("dp-0", "dp/dp-0/engine/divergence_l1"); !ok || v != 12.5 {
+		t.Fatalf("divergence metric = %v (ok=%v), want 12.5", v, ok)
+	}
+	if _, ok := o.LastMetric("dp-0", "missing"); ok {
+		t.Fatal("missing series reported ok")
+	}
+	if _, ok := o.LastMetric("dp-9", "anything"); ok {
+		t.Fatal("unknown point reported ok")
+	}
+}

@@ -151,7 +151,19 @@ type PeerHealth struct {
 }
 
 // StatusArgs requests a decision point's self-assessment.
-type StatusArgs struct{}
+type StatusArgs struct {
+	// WithMetrics asks the decision point to attach its latest metrics
+	// snapshot (see StatusReply.Metrics). The zero value encodes
+	// identically to the old empty StatusArgs, so old callers and new
+	// servers interoperate byte-for-byte.
+	WithMetrics bool
+}
+
+// MetricSample is one series' latest value in a metrics snapshot.
+type MetricSample struct {
+	Name string
+	V    float64
+}
 
 // StatusReply is a decision point's health/load report, the raw material
 // for the third-party reconfiguration monitor of Section 5.
@@ -181,4 +193,11 @@ type StatusReply struct {
 	Peers []PeerHealth
 	// At is the decision point's local (virtual) time of the report.
 	At time.Time
+	// Metrics is the decision point's latest metrics snapshot, attached
+	// only when StatusArgs.WithMetrics is set and a registry is wired.
+	// It is deliberately the LAST field: gob's value encoding elides
+	// zero fields and delta-encodes field indices, so appending here
+	// keeps frames without metrics byte-identical to pre-metrics builds
+	// (see TestStatusWireCompat).
+	Metrics []MetricSample
 }

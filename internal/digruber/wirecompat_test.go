@@ -1,0 +1,195 @@
+// Wire-compatibility regression tests for the metrics extension of the
+// Status RPC. They live in an external test package so the pre-metrics
+// shapes of StatusArgs and StatusReply can be declared under their
+// original names — gob transmits type descriptors by name, so the
+// replicas must be named identically for descriptor-level comparisons.
+package digruber_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+	"time"
+
+	"digruber/internal/digruber"
+)
+
+// StatusArgs is the pre-metrics request shape (PR 3 and earlier).
+type StatusArgs struct{}
+
+// PeerHealth mirrors digruber.PeerHealth (unchanged by the extension).
+type PeerHealth struct {
+	Name             string
+	State            string
+	ConsecutiveFails int
+}
+
+// StatusReply is the pre-metrics reply shape: every field up to and
+// including At, without the appended Metrics slice.
+type StatusReply struct {
+	Name             string
+	Queries          int64
+	LocalDispatches  int64
+	RemoteDispatches int64
+	Received         int64
+	Completed        int64
+	Shed             int64
+	ConnLost         int64
+	InFlight         int64
+	Queued           int
+	Saturated        bool
+	ObservedRate     float64
+	CapacityRate     float64
+	Peers            []PeerHealth
+	At               time.Time
+}
+
+var compatEpoch = time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+
+func newReply() digruber.StatusReply {
+	return digruber.StatusReply{
+		Name: "dp-0", Queries: 42, LocalDispatches: 7, RemoteDispatches: 3,
+		Received: 50, Completed: 48, Shed: 1, ConnLost: 1, InFlight: 2, Queued: 4,
+		Saturated: true, ObservedRate: 2.5, CapacityRate: 2.0,
+		Peers: []digruber.PeerHealth{
+			{Name: "dp-1", State: "alive"},
+			{Name: "dp-2", State: "dead", ConsecutiveFails: 5},
+		},
+		At: compatEpoch.Add(17 * time.Minute),
+	}
+}
+
+func oldReply() StatusReply {
+	return StatusReply{
+		Name: "dp-0", Queries: 42, LocalDispatches: 7, RemoteDispatches: 3,
+		Received: 50, Completed: 48, Shed: 1, ConnLost: 1, InFlight: 2, Queued: 4,
+		Saturated: true, ObservedRate: 2.5, CapacityRate: 2.0,
+		Peers: []PeerHealth{
+			{Name: "dp-1", State: "alive"},
+			{Name: "dp-2", State: "dead", ConsecutiveFails: 5},
+		},
+		At: compatEpoch.Add(17 * time.Minute),
+	}
+}
+
+// primedEncode encodes prime (carrying the type descriptors) and then
+// v on one gob stream, returning only v's message bytes. Gob's value
+// encoding elides zero fields and delta-encodes field indices, so this
+// isolates exactly what an established connection's persistent encoder
+// would transmit per message.
+func primedEncode(t *testing.T, prime, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(prime); err != nil {
+		t.Fatalf("prime: %v", err)
+	}
+	n := buf.Len()
+	if err := enc.Encode(v); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return append([]byte(nil), buf.Bytes()[n:]...)
+}
+
+// valueBody strips a gob value message's framing — the byte-count
+// prefix and the stream-local type ID — leaving the field/value
+// encoding. The type ID is excluded deliberately: it reflects how many
+// descriptor types the stream happened to register earlier (the new
+// binary also registers MetricSample), not what a message costs or
+// carries.
+func valueBody(t *testing.T, msg []byte) []byte {
+	t.Helper()
+	skipUint := func(b []byte) []byte {
+		if len(b) == 0 {
+			t.Fatal("short gob message")
+		}
+		if b[0] < 0x80 {
+			return b[1:]
+		}
+		return b[1+(256-int(b[0])):]
+	}
+	return skipUint(skipUint(msg))
+}
+
+// TestStatusWireCompat is the regression gate for the Metrics
+// extension: with metrics absent, the value encodings of the new shapes
+// are byte-identical to the pre-metrics shapes. This is why Metrics
+// must stay the LAST StatusReply field — gob delta-encodes field
+// indices, so inserting it earlier would renumber every later field
+// and break this identity.
+func TestStatusWireCompat(t *testing.T) {
+	oldMsg := primedEncode(t, StatusReply{Name: "p"}, oldReply())
+	newMsg := primedEncode(t, digruber.StatusReply{Name: "p"}, newReply())
+	if len(oldMsg) != len(newMsg) {
+		t.Fatalf("metrics-free reply message grew: %d → %d bytes", len(oldMsg), len(newMsg))
+	}
+	if old, new := valueBody(t, oldMsg), valueBody(t, newMsg); !bytes.Equal(old, new) {
+		t.Fatalf("metrics-free reply value encoding changed:\n old %x\n new %x", old, new)
+	}
+
+	oldArgs := primedEncode(t, StatusArgs{}, StatusArgs{})
+	newArgs := primedEncode(t, digruber.StatusArgs{}, digruber.StatusArgs{})
+	if len(oldArgs) != len(newArgs) {
+		t.Fatalf("default StatusArgs message grew: %d → %d bytes", len(oldArgs), len(newArgs))
+	}
+	if old, new := valueBody(t, oldArgs), valueBody(t, newArgs); !bytes.Equal(old, new) {
+		t.Fatalf("default StatusArgs value encoding changed:\n old %x\n new %x", old, new)
+	}
+
+	// And the extension does pay its way only when used: attaching a
+	// snapshot changes the encoding (it had better).
+	withMetrics := newReply()
+	withMetrics.Metrics = []digruber.MetricSample{{Name: "dp/dp-0/wire/inflight", V: 2}}
+	extended := primedEncode(t, digruber.StatusReply{Name: "p"}, withMetrics)
+	if bytes.Equal(valueBody(t, newMsg), valueBody(t, extended)) {
+		t.Fatal("metrics snapshot did not change the encoding")
+	}
+}
+
+// TestStatusCrossDecode: old and new shapes interoperate in both
+// directions — gob matches fields by name and ignores fields unknown
+// to the receiver.
+func TestStatusCrossDecode(t *testing.T) {
+	// Old sender → new receiver: Metrics stays nil.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(oldReply()); err != nil {
+		t.Fatal(err)
+	}
+	var got digruber.StatusReply
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, newReply()) {
+		t.Fatalf("old→new decode mismatch:\n got %+v\nwant %+v", got, newReply())
+	}
+
+	// New sender (with metrics) → old receiver: snapshot is dropped,
+	// everything else survives.
+	withMetrics := newReply()
+	withMetrics.Metrics = []digruber.MetricSample{{Name: "x", V: 1}}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(withMetrics); err != nil {
+		t.Fatal(err)
+	}
+	var old StatusReply
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old, oldReply()) {
+		t.Fatalf("new→old decode mismatch:\n got %+v\nwant %+v", old, oldReply())
+	}
+
+	// Old empty args → new handler: WithMetrics decodes to false.
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(StatusArgs{}); err != nil {
+		t.Fatal(err)
+	}
+	var args digruber.StatusArgs
+	if err := gob.NewDecoder(&buf).Decode(&args); err != nil {
+		t.Fatal(err)
+	}
+	if args.WithMetrics {
+		t.Fatal("empty args decoded WithMetrics=true")
+	}
+}

@@ -37,6 +37,7 @@ func extensionExperiments() []Experiment {
 		{ID: "ext-trace-breakdown", Title: "Extension: per-phase latency attribution via distributed tracing", Run: runTraceBreakdown},
 		{ID: "ext-trace-replay", Title: "Extension: GRUB-SIM replaying a live-run trace", Run: runTraceReplayExtension},
 		{ID: "ext-failure", Title: "Extension: broker crash-recovery under a seeded fault plane", Run: runFailureExtension},
+		{ID: "ext-divergence", Title: "Extension: view divergence vs scheduling accuracy (metrics plane)", Run: runDivergence},
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"digruber/internal/metrics"
 	"digruber/internal/netsim"
 	"digruber/internal/trace"
+	"digruber/internal/tsdb"
 	"digruber/internal/vtime"
 	"digruber/internal/wire"
 )
@@ -71,6 +72,16 @@ type ScenarioConfig struct {
 	// IDs are drawn from per-actor seeded streams and timestamps from
 	// the experiment clock, so the same seed yields the same trace.
 	TraceSink *trace.Collector
+	// MetricsSink, when non-nil, turns on the metrics plane: every
+	// decision point registers its instruments under dp/<name>/, a
+	// fleet-wide wire-client counter set lands under clients/wire/, a
+	// per-DP divergence gauge (dp/<name>/engine/divergence_l1) measures
+	// the L1 distance between the broker's dynamic free-CPU view and
+	// grid ground truth, and a sampler records everything into the
+	// registry on MetricsInterval ticks of the experiment clock.
+	MetricsSink *tsdb.Registry
+	// MetricsInterval is the sampling period (default Scale.Window).
+	MetricsInterval time.Duration
 }
 
 // FaultConfig schedules a seeded crash-and-heal wave against the
@@ -114,6 +125,9 @@ func (c *ScenarioConfig) setDefaults() error {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.MetricsInterval <= 0 {
+		c.MetricsInterval = c.Scale.Window
 	}
 	if c.Faults != nil {
 		if c.Faults.CrashAt <= 0 {
@@ -230,12 +244,19 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 			Strategy:         cfg.Strategy,
 			PeerTimeout:      cfg.Timeout,
 			Tracer:           tracerFor(fmt.Sprintf("dp-%d", i)),
+			Metrics:          cfg.MetricsSink,
 		})
 		if err != nil {
 			return ScenarioResult{}, err
 		}
 		dp.Engine().UpdateSites(g.Snapshot(), clock.Now())
 		dps[i] = dp
+		// The divergence gauge needs ground truth, which only the
+		// harness has — so it lives here, not in the decision point.
+		engine := dp.Engine()
+		cfg.MetricsSink.GaugeFunc("dp/"+dp.Name()+"/engine/divergence_l1", func(now time.Time) float64 {
+			return engine.ViewDivergence(g.Snapshot())
+		})
 	}
 	for i, dp := range dps {
 		for j, peer := range dps {
@@ -313,6 +334,14 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	}
 
 	// --- clients, statically bound round-robin over decision points ---
+	// One shared wire-counter set aggregates the whole submission fleet
+	// (nil when metrics are off, which keeps the per-call cost at one
+	// nil check).
+	var wireMetrics *wire.ClientMetrics
+	if cfg.MetricsSink != nil {
+		wireMetrics = wire.NewClientMetrics()
+		wireMetrics.Register(cfg.MetricsSink, "clients/wire")
+	}
 	clients := make([]*digruber.Client, cfg.Clients)
 	for t := range clients {
 		dpIdx := t % cfg.DPs
@@ -351,6 +380,7 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 			RNG:           netsim.Stream(cfg.Seed, fmt.Sprintf("exp.fallback/%d", t)),
 			Failover:      failover,
 			Tracer:        tracerFor(wl.gen.HostName(t)),
+			WireMetrics:   wireMetrics,
 		})
 		if err != nil {
 			return ScenarioResult{}, err
@@ -409,6 +439,11 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		return diperf.OpResult{Handled: dec.Handled, TraceID: dec.TraceID}
 	}
 
+	// --- metrics sampler, ticking on the experiment clock ---
+	sampler := tsdb.NewSampler(cfg.MetricsSink, clock, cfg.MetricsInterval)
+	sampler.Start()
+	defer sampler.Stop()
+
 	// --- drive it with DiPerF ---
 	stagger := cfg.Scale.Duration / 10 / time.Duration(maxInt(cfg.Clients-1, 1))
 	dpResult, err := diperf.Run(diperf.Config{
@@ -428,6 +463,9 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	// closed.
 	drainReal := time.Duration(float64(cfg.Scale.Duration) / 2 / cfg.Scale.Speedup)
 	waitWithTimeout(&execWG, drainReal)
+	// Close the books: one final sample so the run's last partial window
+	// is in the series.
+	sampler.SampleNow()
 
 	res := ScenarioResult{
 		Config: cfg,

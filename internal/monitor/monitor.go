@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"digruber/internal/grid"
+	"digruber/internal/tsdb"
 	"digruber/internal/vtime"
 )
 
@@ -31,11 +32,12 @@ type Monitor struct {
 	clock  vtime.Clock
 	period time.Duration
 
-	mu     sync.Mutex
-	sinks  []Sink
-	ticker vtime.Ticker
-	done   chan struct{}
-	polls  int
+	mu      sync.Mutex
+	sinks   []Sink
+	ticker  vtime.Ticker
+	done    chan struct{}
+	polls   int
+	fanouts int // sink deliveries across all polls
 }
 
 // New returns a monitor polling source every period.
@@ -82,6 +84,7 @@ func (m *Monitor) Poll() {
 	m.mu.Lock()
 	sinks := append([]Sink(nil), m.sinks...)
 	m.polls++
+	m.fanouts += len(sinks)
 	m.mu.Unlock()
 	for _, s := range sinks {
 		s.UpdateSites(statuses, at)
@@ -93,6 +96,27 @@ func (m *Monitor) Polls() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.polls
+}
+
+// Fanouts reports how many sink deliveries have run in total (polls x
+// subscribers at each poll).
+func (m *Monitor) Fanouts() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.fanouts
+}
+
+// RegisterMetrics exposes the monitor's activity as gauges under prefix:
+// polls and fanouts (cumulative) and sinks (current subscriber count).
+// Safe with a nil registry.
+func (m *Monitor) RegisterMetrics(reg *tsdb.Registry, prefix string) {
+	reg.GaugeFunc(prefix+"/polls", func(now time.Time) float64 { return float64(m.Polls()) })
+	reg.GaugeFunc(prefix+"/fanouts", func(now time.Time) float64 { return float64(m.Fanouts()) })
+	reg.GaugeFunc(prefix+"/sinks", func(now time.Time) float64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return float64(len(m.sinks))
+	})
 }
 
 // Stop ends periodic polling.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"digruber/internal/grid"
+	"digruber/internal/tsdb"
 	"digruber/internal/vtime"
 )
 
@@ -124,4 +125,84 @@ func TestTimestampsComeFromClock(t *testing.T) {
 	if got := sink.times[1]; !got.Equal(epoch.Add(42 * time.Second)) {
 		t.Fatalf("timestamp = %v", got)
 	}
+}
+
+func TestSubscribeAfterStart(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	m := New(&fakeSource{}, clock, time.Minute)
+	early := &recordingSink{}
+	m.Subscribe(early)
+	m.Start()
+	defer m.Stop()
+
+	// A sink subscribed mid-run gets its bootstrap snapshot immediately…
+	late := &recordingSink{}
+	m.Subscribe(late)
+	if late.count() != 1 {
+		t.Fatalf("late sink updates = %d, want immediate snapshot", late.count())
+	}
+	// …and rides every subsequent tick alongside the early sink.
+	clock.Advance(time.Minute)
+	deadline := time.Now().Add(2 * time.Second)
+	for late.count() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if late.count() != 2 || early.count() != 2 {
+		t.Fatalf("counts = early %d / late %d, want 2/2", early.count(), late.count())
+	}
+	// One poll delivered to two sinks: fanouts counts deliveries.
+	if m.Fanouts() != 2 {
+		t.Fatalf("fanouts = %d, want 2", m.Fanouts())
+	}
+}
+
+func TestStopIdempotentAndRestartable(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	m := New(&fakeSource{}, clock, time.Minute)
+	m.Stop() // never started: no-op
+	m.Start()
+	m.Stop()
+	m.Stop() // double stop: no-op
+	polls := m.Polls()
+	clock.Advance(5 * time.Minute)
+	time.Sleep(10 * time.Millisecond)
+	if m.Polls() != polls {
+		t.Fatal("stopped monitor kept polling")
+	}
+	m.Start() // restart works
+	defer m.Stop()
+	clock.Advance(time.Minute)
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Polls() < polls+1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if m.Polls() != polls+1 {
+		t.Fatalf("polls = %d after restart, want %d", m.Polls(), polls+1)
+	}
+}
+
+func TestMonitorMetrics(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	m := New(&fakeSource{}, clock, time.Minute)
+	reg := tsdb.New(0)
+	m.RegisterMetrics(reg, "monitor")
+	m.Subscribe(&recordingSink{})
+	m.Subscribe(&recordingSink{})
+	m.Poll()
+	m.Poll()
+	clock.Advance(time.Second)
+	reg.Sample(clock.Now())
+
+	for name, want := range map[string]float64{
+		"monitor/polls":   2,
+		"monitor/fanouts": 4,
+		"monitor/sinks":   2,
+	} {
+		p, ok := reg.Latest(name)
+		if !ok || p.V != want {
+			t.Errorf("%s = %v (ok=%v), want %v", name, p.V, ok, want)
+		}
+	}
+	// Nil registry: registration is a no-op, not a panic.
+	m.RegisterMetrics(nil, "x")
 }

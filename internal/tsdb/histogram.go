@@ -1,0 +1,85 @@
+package tsdb
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefBuckets is the fallback bucket layout (seconds-flavored, like the
+// classic latency buckets): used when a histogram is registered with no
+// valid bounds.
+var DefBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram counts observations into a fixed bucket layout. It is
+// windowed: each registry Sample emits the counts accumulated since the
+// previous sample and resets them, so the exported series are per-window
+// bucket counts (plus /count and /sum), not cumulative totals. A nil
+// *Histogram ignores every call.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	counts []int64   // len(bounds)+1, the current window
+	sum    float64
+	n      int64
+}
+
+// newHistogram builds a histogram with sanitized bounds: non-finite
+// values dropped, sorted, deduplicated; empty falls back to DefBuckets.
+func newHistogram(bounds []float64) *Histogram {
+	clean := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if !math.IsNaN(b) && !math.IsInf(b, 0) {
+			clean = append(clean, b)
+		}
+	}
+	sort.Float64s(clean)
+	dedup := clean[:0]
+	for i, b := range clean {
+		if i == 0 || b != clean[i-1] {
+			dedup = append(dedup, b)
+		}
+	}
+	if len(dedup) == 0 {
+		dedup = append(dedup, DefBuckets...)
+	}
+	return &Histogram{bounds: dedup, counts: make([]int64, len(dedup)+1)}
+}
+
+// Bounds returns the bucket upper bounds (shared; do not mutate).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// Observe adds one observation to the current window. NaN is ignored.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// takeWindow returns the window's bucket counts (the last entry is the
+// +Inf overflow), sum and observation count, then resets the window.
+func (h *Histogram) takeWindow() (counts []int64, sum float64, n int64) {
+	if h == nil {
+		return nil, 0, 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	counts = append([]int64(nil), h.counts...)
+	sum, n = h.sum, h.n
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.sum, h.n = 0, 0
+	return counts, sum, n
+}

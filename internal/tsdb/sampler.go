@@ -1,0 +1,82 @@
+package tsdb
+
+import (
+	"sync"
+	"time"
+
+	"digruber/internal/vtime"
+)
+
+// Sampler drives a registry's sampling off a virtual-clock ticker: one
+// Sample per interval of virtual time, stamped with the clock's Now.
+// Start and Stop are idempotent; a stopped sampler can be started
+// again.
+type Sampler struct {
+	reg      *Registry
+	clock    vtime.Clock
+	interval time.Duration
+
+	mu     sync.Mutex
+	ticker vtime.Ticker
+	done   chan struct{}
+}
+
+// NewSampler returns a sampler recording reg every interval of clock
+// time (<= 0 defaults to one minute).
+func NewSampler(reg *Registry, clock vtime.Clock, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	return &Sampler{reg: reg, clock: clock, interval: interval}
+}
+
+// Start begins periodic sampling; it is a no-op if already started or
+// if the sampler has no registry or clock.
+func (s *Sampler) Start() {
+	if s == nil || s.reg == nil || s.clock == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done != nil {
+		return
+	}
+	s.done = make(chan struct{})
+	s.ticker = s.clock.NewTicker(s.interval)
+	go s.loop(s.ticker, s.done)
+}
+
+func (s *Sampler) loop(ticker vtime.Ticker, done chan struct{}) {
+	for {
+		select {
+		case <-ticker.C():
+			s.SampleNow()
+		case <-done:
+			return
+		}
+	}
+}
+
+// SampleNow records one sample immediately at the clock's current time.
+func (s *Sampler) SampleNow() {
+	if s == nil || s.reg == nil || s.clock == nil {
+		return
+	}
+	s.reg.Sample(s.clock.Now())
+}
+
+// Stop ends periodic sampling. Idempotent; Start may follow.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done == nil {
+		return
+	}
+	s.ticker.Stop()
+	close(s.done)
+	s.done = nil
+	s.ticker = nil
+}

@@ -27,6 +27,7 @@ type Client struct {
 	clock      vtime.Clock
 	retry      RetryPolicy
 	tracer     *trace.Tracer
+	metrics    *ClientMetrics
 
 	mu      sync.Mutex
 	conn    Conn
@@ -61,6 +62,10 @@ type ClientConfig struct {
 	// for calls carrying a trace context (CallCtx). Nil disables tracing
 	// at zero cost.
 	Tracer *trace.Tracer
+	// Metrics, when non-nil, counts calls, attempts, retries and
+	// per-failure-class outcomes. A set may be shared by many clients to
+	// aggregate a fleet; nil disables counting at zero cost.
+	Metrics *ClientMetrics
 }
 
 // RetryPolicy bounds automatic retry of failed calls. Only failures the
@@ -128,6 +133,7 @@ func NewClient(cfg ClientConfig) *Client {
 		clock:      cfg.Clock,
 		retry:      cfg.Retry,
 		tracer:     cfg.Tracer,
+		metrics:    cfg.Metrics,
 		pending:    make(map[uint64]chan frame),
 	}
 }
@@ -215,8 +221,10 @@ func (c *Client) Call(method string, body []byte, timeout time.Duration) ([]byte
 // the same trace. With a zero parent (or no Tracer configured) CallCtx
 // behaves exactly like Call.
 func (c *Client) CallCtx(parent trace.SpanContext, method string, body []byte, timeout time.Duration) ([]byte, error) {
+	c.metrics.onCall()
 	resp, err := c.callOnce(parent, method, body, timeout)
 	if err == nil || !c.retry.enabled() {
+		c.metrics.onResult(err)
 		return resp, err
 	}
 	for attempt := 1; attempt < c.retry.Attempts && c.retry.retryable(err); attempt++ {
@@ -225,16 +233,20 @@ func (c *Client) CallCtx(parent trace.SpanContext, method string, body []byte, t
 			c.clock.Sleep(d)
 			bs.End()
 		}
+		c.metrics.onRetry()
 		resp, err = c.callOnce(parent, method, body, timeout)
 		if err == nil {
+			c.metrics.onResult(nil)
 			return resp, nil
 		}
 	}
+	c.metrics.onResult(err)
 	return resp, err
 }
 
 // callOnce is a single RPC attempt, wrapped in its attempt span.
 func (c *Client) callOnce(parent trace.SpanContext, method string, body []byte, timeout time.Duration) ([]byte, error) {
+	c.metrics.onAttempt()
 	attempt := c.tracer.StartSpan(parent, trace.PhaseAttempt)
 	attempt.SetNote(method)
 	resp, err := c.attemptCall(attempt.Context(), method, body, timeout)

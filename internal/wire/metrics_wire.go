@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"sync/atomic"
+	"time"
+
+	"digruber/internal/tsdb"
+)
+
+// RegisterMetrics exposes the server's load counters as time series
+// under prefix (e.g. prefix "dp/dp-0/wire" yields dp/dp-0/wire/inflight
+// and friends). The cumulative counters (received, completed, shed,
+// conn_lost, failed) pair with tsdb.Rate for the per-second views;
+// inflight and queue are instantaneous gauges. Safe with a nil
+// registry.
+func (s *Server) RegisterMetrics(reg *tsdb.Registry, prefix string) {
+	reg.GaugeFunc(prefix+"/inflight", func(now time.Time) float64 { return float64(s.inflight.Load()) })
+	reg.GaugeFunc(prefix+"/queue", func(now time.Time) float64 { return float64(len(s.work)) })
+	for _, c := range []struct {
+		name string
+		v    *atomic.Int64
+	}{
+		{"/received", &s.received},
+		{"/completed", &s.completed},
+		{"/failed", &s.failed},
+		{"/shed", &s.shed},
+		{"/conn_lost", &s.connLost},
+	} {
+		v := c.v
+		reg.GaugeFunc(prefix+c.name, func(now time.Time) float64 { return float64(v.Load()) })
+	}
+}
+
+// ClientMetrics aggregates call outcomes across one or more Clients
+// sharing it (a fleet of submission hosts, a decision point's peer
+// links). All methods are safe on a nil receiver, so un-instrumented
+// clients pay one nil check per call.
+type ClientMetrics struct {
+	calls    atomic.Int64 // logical calls (CallCtx invocations)
+	attempts atomic.Int64 // individual attempts, retries included
+	retries  atomic.Int64
+	ok       atomic.Int64
+	timeout  atomic.Int64
+	overload atomic.Int64
+	refused  atomic.Int64
+	lost     atomic.Int64
+	other    atomic.Int64 // FailureClosed and application-level errors
+}
+
+// NewClientMetrics returns an empty, shareable counter set.
+func NewClientMetrics() *ClientMetrics { return &ClientMetrics{} }
+
+// Register exposes the counters as cumulative series under prefix
+// (calls, attempts, retries, ok, timeout, overload, refused, lost,
+// failed). Safe with a nil receiver or registry.
+func (m *ClientMetrics) Register(reg *tsdb.Registry, prefix string) {
+	if m == nil {
+		return
+	}
+	for _, c := range []struct {
+		name string
+		v    *atomic.Int64
+	}{
+		{"/calls", &m.calls},
+		{"/attempts", &m.attempts},
+		{"/retries", &m.retries},
+		{"/ok", &m.ok},
+		{"/timeout", &m.timeout},
+		{"/overload", &m.overload},
+		{"/refused", &m.refused},
+		{"/lost", &m.lost},
+		{"/failed", &m.other},
+	} {
+		v := c.v
+		reg.GaugeFunc(prefix+c.name, func(now time.Time) float64 { return float64(v.Load()) })
+	}
+}
+
+func (m *ClientMetrics) onCall() {
+	if m != nil {
+		m.calls.Add(1)
+	}
+}
+
+func (m *ClientMetrics) onAttempt() {
+	if m != nil {
+		m.attempts.Add(1)
+	}
+}
+
+func (m *ClientMetrics) onRetry() {
+	if m != nil {
+		m.retries.Add(1)
+	}
+}
+
+// onResult classifies a finished logical call's outcome.
+func (m *ClientMetrics) onResult(err error) {
+	if m == nil {
+		return
+	}
+	if err == nil {
+		m.ok.Add(1)
+		return
+	}
+	switch Classify(err) {
+	case FailureTimeout:
+		m.timeout.Add(1)
+	case FailureOverload:
+		m.overload.Add(1)
+	case FailureRefused:
+		m.refused.Add(1)
+	case FailureLost:
+		m.lost.Add(1)
+	default:
+		m.other.Add(1)
+	}
+}
+
+// ClientStats is a consistent-enough copy of the counters, for tests
+// and status displays.
+type ClientStats struct {
+	Calls, Attempts, Retries         int64
+	OK                               int64
+	Timeout, Overload, Refused, Lost int64
+	Other                            int64
+}
+
+// Stats returns the current counter values (zero for a nil receiver).
+func (m *ClientMetrics) Stats() ClientStats {
+	if m == nil {
+		return ClientStats{}
+	}
+	return ClientStats{
+		Calls:    m.calls.Load(),
+		Attempts: m.attempts.Load(),
+		Retries:  m.retries.Load(),
+		OK:       m.ok.Load(),
+		Timeout:  m.timeout.Load(),
+		Overload: m.overload.Load(),
+		Refused:  m.refused.Load(),
+		Lost:     m.lost.Load(),
+		Other:    m.other.Load(),
+	}
+}

@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"digruber/internal/tsdb"
+	"digruber/internal/vtime"
+)
+
+// TestServerMetricsRegistration: the registered gauges track the same
+// atomics Stats() reads, sampled into series.
+func TestServerMetricsRegistration(t *testing.T) {
+	clock := vtime.NewReal()
+	srv, cli := newPair(t, Instant(), nil, clock)
+	Handle(srv, "echo", func(r echoReq) (echoResp, error) { return echoResp(r), nil })
+
+	reg := tsdb.New(0)
+	srv.RegisterMetrics(reg, "srv")
+
+	for i := 0; i < 3; i++ {
+		if _, err := Call[echoReq, echoResp](cli, "echo", echoReq{Msg: "x"}, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The server decrements in-flight in a defer that runs after the
+	// response send, so it can still read 1 for an instant after a
+	// synchronous call returns — wait for it to settle before sampling.
+	for deadline := time.Now().Add(5 * time.Second); srv.Stats().InFlight != 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("server did not quiesce")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	reg.Sample(clock.Now())
+
+	for name, want := range map[string]float64{
+		"srv/received":  3,
+		"srv/completed": 3,
+		"srv/shed":      0,
+		"srv/conn_lost": 0,
+		"srv/failed":    0,
+		"srv/inflight":  0,
+		"srv/queue":     0,
+	} {
+		p, ok := reg.Latest(name)
+		if !ok || p.V != want {
+			t.Errorf("%s = %v (ok=%v), want %v", name, p.V, ok, want)
+		}
+	}
+}
+
+// TestClientMetricsOutcomes: a shared ClientMetrics partitions logical
+// call outcomes by failure class and counts attempts including retries.
+func TestClientMetricsOutcomes(t *testing.T) {
+	clock := vtime.NewReal()
+	mem := NewMem()
+	srv := NewServer("server-node", Instant(), clock)
+	l, err := mem.Listen("dp-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close(); l.Close() })
+	Handle(srv, "echo", func(r echoReq) (echoResp, error) { return echoResp(r), nil })
+	Handle(srv, "boom", func(r echoReq) (echoResp, error) { return echoResp{}, errors.New("app error") })
+
+	m := NewClientMetrics()
+	mkClient := func() *Client {
+		c := NewClient(ClientConfig{
+			Node: "client-node", ServerNode: "server-node",
+			Addr: "dp-0", Transport: mem, Clock: clock, Metrics: m,
+		})
+		t.Cleanup(c.Close)
+		return c
+	}
+
+	// Two clients share the same counter set.
+	c1, c2 := mkClient(), mkClient()
+	if _, err := Call[echoReq, echoResp](c1, "echo", echoReq{Msg: "a"}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Call[echoReq, echoResp](c2, "echo", echoReq{Msg: "b"}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Call[echoReq, echoResp](c1, "boom", echoReq{}, time.Second); err == nil {
+		t.Fatal("boom should fail")
+	}
+	// Refused: nothing listens there.
+	bad := NewClient(ClientConfig{
+		Node: "client-node", ServerNode: "nowhere",
+		Addr: "nowhere", Transport: mem, Clock: clock, Metrics: m,
+		Retry: RetryPolicy{Attempts: 3},
+	})
+	t.Cleanup(bad.Close)
+	if _, err := bad.Call("echo", nil, time.Second); !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v, want ErrRefused", err)
+	}
+
+	st := m.Stats()
+	if st.Calls != 4 || st.OK != 2 || st.Other != 1 || st.Refused != 1 {
+		t.Fatalf("stats = %+v, want calls=4 ok=2 other=1 refused=1", st)
+	}
+	// The refused call retried twice: 3 + 3 + 1(boom had 1) ... attempts:
+	// echo+echo+boom are 1 attempt each, refused call is 3.
+	if st.Attempts != 6 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want attempts=6 retries=2", st)
+	}
+
+	reg := tsdb.New(0)
+	m.Register(reg, "clients/wire")
+	reg.Sample(clock.Now())
+	if p, ok := reg.Latest("clients/wire/calls"); !ok || p.V != 4 {
+		t.Fatalf("clients/wire/calls = %v (ok=%v), want 4", p.V, ok)
+	}
+}
+
+// TestNilClientMetricsIsFree: un-instrumented clients and nil receivers
+// take every path without panicking.
+func TestNilClientMetricsIsFree(t *testing.T) {
+	var m *ClientMetrics
+	m.onCall()
+	m.onAttempt()
+	m.onRetry()
+	m.onResult(nil)
+	m.onResult(fmt.Errorf("x"))
+	m.Register(tsdb.New(0), "p")
+	if st := m.Stats(); st != (ClientStats{}) {
+		t.Fatalf("nil metrics stats = %+v", st)
+	}
+}
