@@ -37,9 +37,10 @@ func (b *brokerList) Set(v string) error { *b = append(*b, v); return nil }
 
 // broker is one polled decision point.
 type broker struct {
-	name   string
-	addr   string
-	client *wire.Client
+	name    string
+	addr    string
+	client  *wire.Client
+	breaker *wire.Breaker
 
 	up   bool
 	last digruber.StatusReply
@@ -62,6 +63,13 @@ func main() {
 	}
 
 	clock := vtime.NewReal()
+	// The monitor practices what the plane preaches: poll deadlines ride
+	// the wire, one retry budget is shared across the whole fleet (a
+	// dead mesh must not turn the monitor into a retry storm), and a
+	// per-broker breaker skips polling brokers that stopped answering
+	// until a cooldown-spaced probe sees them again.
+	metrics := wire.NewClientMetrics()
+	budget := wire.NewRetryBudget(clock, 1.0/interval.Seconds(), 2*float64(len(specs)))
 	brokers := make([]*broker, 0, len(specs))
 	for _, s := range specs {
 		parts := strings.SplitN(s, "=", 2)
@@ -78,6 +86,18 @@ func main() {
 				Addr:       parts[1],
 				Transport:  wire.TCP{},
 				Clock:      clock,
+				Metrics:    metrics,
+				Retry: wire.RetryPolicy{
+					Attempts:    2,
+					BaseBackoff: 100 * time.Millisecond,
+					Budget:      budget,
+				},
+				PropagateDeadline: true,
+			}),
+			breaker: wire.NewBreaker(wire.BreakerConfig{
+				Clock:     clock,
+				Threshold: 3,
+				Cooldown:  4 * *interval,
 			}),
 		})
 	}
@@ -108,8 +128,8 @@ func main() {
 
 	for polls := 0; ; {
 		pollAll(brokers, *timeout)
-		record(brokers, reg, gauge, clock.Now())
-		render(os.Stdout, brokers, *plain)
+		record(brokers, metrics, reg, gauge, clock.Now())
+		render(os.Stdout, brokers, metrics, *plain)
 		polls++
 		if *iterations > 0 && polls >= *iterations {
 			break
@@ -139,11 +159,18 @@ done:
 }
 
 // pollAll fetches every broker's status (with metrics) sequentially —
-// a handful of brokers at human refresh rates doesn't need fan-out.
+// a handful of brokers at human refresh rates doesn't need fan-out. A
+// broker whose breaker is open is skipped outright until the breaker's
+// cooldown admits a probe.
 func pollAll(brokers []*broker, timeout time.Duration) {
 	for _, b := range brokers {
+		if !b.breaker.Allow() {
+			b.up = false
+			continue
+		}
 		st, err := wire.Call[digruber.StatusArgs, digruber.StatusReply](
 			b.client, digruber.MethodStatus, digruber.StatusArgs{WithMetrics: true}, timeout)
+		b.breaker.Record(err)
 		if err != nil {
 			b.up = false
 			continue
@@ -163,10 +190,24 @@ func metric(st digruber.StatusReply, series string) (float64, bool) {
 	return 0, false
 }
 
+// breakerLevel flattens a breaker state for the dump series: 0 closed,
+// 1 half-open, 2 open.
+func breakerLevel(s wire.BreakerState) float64 {
+	switch s {
+	case wire.BreakerOpen:
+		return 2
+	case wire.BreakerHalfOpen:
+		return 1
+	default:
+		return 0
+	}
+}
+
 // record samples the fleet's latest poll into the local registry.
-func record(brokers []*broker, reg *tsdb.Registry, gauge func(string) *tsdb.Gauge, now time.Time) {
+func record(brokers []*broker, metrics *wire.ClientMetrics, reg *tsdb.Registry, gauge func(string) *tsdb.Gauge, now time.Time) {
 	for _, b := range brokers {
 		p := "top/" + b.name + "/"
+		gauge(p + "poll_breaker").Set(breakerLevel(b.breaker.State()))
 		if !b.up {
 			gauge(p + "up").Set(0)
 			continue
@@ -178,26 +219,30 @@ func record(brokers []*broker, reg *tsdb.Registry, gauge func(string) *tsdb.Gaug
 		gauge(p + "inflight").Set(float64(st.InFlight))
 		gauge(p + "queue").Set(float64(st.Queued))
 		gauge(p + "shed").Set(float64(st.Shed))
+		gauge(p + "expired").Set(float64(st.Expired))
 		gauge(p + "conn_lost").Set(float64(st.ConnLost))
 		if div, ok := metric(st, "dp/"+st.Name+"/engine/divergence_l1"); ok {
 			gauge(p + "divergence_l1").Set(div)
 		}
 	}
+	gauge("top/fleet/poll_throttled").Set(float64(metrics.Stats().Throttled))
 	reg.Sample(now)
 }
 
 // render draws the fleet table.
-func render(w *os.File, brokers []*broker, plain bool) {
+func render(w *os.File, brokers []*broker, metrics *wire.ClientMetrics, plain bool) {
 	if !plain {
 		fmt.Fprint(w, "\033[H\033[2J")
 	}
-	fmt.Fprintf(w, "digruber-top — %d brokers\n", len(brokers))
-	fmt.Fprintf(w, "%-10s %-5s %8s %8s %6s %6s %8s %8s %12s %-12s\n",
-		"NAME", "STATE", "RATE", "CAP", "INFL", "QUEUE", "SHED", "LOST", "DIVERGENCE", "PEERS a/s/d")
+	fmt.Fprintf(w, "digruber-top — %d brokers, %d polls throttled\n",
+		len(brokers), metrics.Stats().Throttled)
+	fmt.Fprintf(w, "%-10s %-5s %9s %8s %8s %6s %6s %8s %8s %8s %12s %-12s\n",
+		"NAME", "STATE", "BRK", "RATE", "CAP", "INFL", "QUEUE", "SHED", "EXPIRED", "LOST", "DIVERGENCE", "PEERS a/s/d")
 	for _, b := range brokers {
+		brk := b.breaker.State().String()
 		if !b.up {
-			fmt.Fprintf(w, "%-10s %-5s %8s %8s %6s %6s %8s %8s %12s %-12s\n",
-				b.name, "down", "-", "-", "-", "-", "-", "-", "-", "-")
+			fmt.Fprintf(w, "%-10s %-5s %9s %8s %8s %6s %6s %8s %8s %8s %12s %-12s\n",
+				b.name, "down", brk, "-", "-", "-", "-", "-", "-", "-", "-", "-")
 			continue
 		}
 		st := b.last
@@ -220,9 +265,9 @@ func render(w *os.File, brokers []*broker, plain bool) {
 				dead++
 			}
 		}
-		fmt.Fprintf(w, "%-10s %-5s %8.2f %8.2f %6d %6d %8d %8d %12s %d/%d/%d\n",
-			b.name, state, st.ObservedRate, st.CapacityRate,
-			st.InFlight, st.Queued, st.Shed, st.ConnLost, div,
+		fmt.Fprintf(w, "%-10s %-5s %9s %8.2f %8.2f %6d %6d %8d %8d %8d %12s %d/%d/%d\n",
+			b.name, state, brk, st.ObservedRate, st.CapacityRate,
+			st.InFlight, st.Queued, st.Shed, st.Expired, st.ConnLost, div,
 			alive, suspect, dead)
 	}
 	if plain {

@@ -41,7 +41,7 @@ func main() {
 		seed       = flag.Int64("seed", 0, "replay seed for workload and fault schedules (0 = default)")
 		jsonOut    = flag.Bool("json", false, "emit result rows as JSONL on stdout (text reports go to stderr)")
 		traceOut   = flag.String("trace-out", "", "write ext-trace-breakdown's span records as JSONL to this file")
-		metricsOut = flag.String("metrics-out", "", "write ext-divergence's sampled time series as JSONL to this file")
+		metricsOut = flag.String("metrics-out", "", "write ext-divergence's / ext-overload's sampled time series as JSONL to this file")
 	)
 	flag.Parse()
 

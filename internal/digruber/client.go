@@ -65,6 +65,28 @@ type ClientConfig struct {
 	// submission hosts it gives one set of fleet-wide counters; it also
 	// survives failover rebinds, which build fresh wire clients.
 	WireMetrics *wire.ClientMetrics
+	// Retry is the per-call retry policy applied to every wire client
+	// this client builds (including the fresh ones failover rebinds
+	// create). The zero value disables retries. Give the policy a shared
+	// Budget to cap fleet-wide retry amplification under saturation.
+	Retry wire.RetryPolicy
+	// PropagateDeadline stamps each RPC's absolute deadline into the
+	// request envelope, so a drowning decision point can drop the call
+	// unprocessed at dequeue once answering is already pointless.
+	PropagateDeadline bool
+	// Breaker enables a circuit breaker per decision-point address when
+	// Breaker.Threshold > 0 (the zero config disables breaking). The
+	// breaker trips on consecutive transport-level failures, fails calls
+	// locally while open — the fallback path answers instantly instead
+	// of paying a timeout per job against a dead broker — and re-closes
+	// via a half-open probe. Breaker.Clock defaults to the client Clock.
+	Breaker wire.BreakerConfig
+	// LoadAwareFailover makes a failover rebind probe the candidates'
+	// Status and bind to the least-loaded one (queued + in-flight),
+	// skipping candidates whose breakers are open, instead of blindly
+	// walking the Failover ring. Falls back to ring order when no probe
+	// answers.
+	LoadAwareFailover bool
 }
 
 // DPRef names one decision point a client can bind to.
@@ -118,6 +140,13 @@ type Client struct {
 	// failoverIdx walks the Failover ring.
 	consecFails int
 	failoverIdx int
+	// breakers holds one circuit breaker per decision-point address.
+	// Keyed by address rather than hung off the wire client so breaker
+	// state survives rebinds: a client that failed away and later
+	// returns to a recovered point resumes at that point's half-open
+	// probe, not a blank closed breaker. Nil until the first use; empty
+	// forever when ClientConfig.Breaker is disabled.
+	breakers map[string]*wire.Breaker
 }
 
 // conn returns the current RPC client (it changes on Rebind).
@@ -126,6 +155,62 @@ func (c *Client) conn() *wire.Client {
 	defer c.mu.Unlock()
 	return c.rpc
 }
+
+// connAndBreaker returns the current RPC client together with the
+// breaker guarding the current binding, consistently under one lock so
+// a concurrent Rebind cannot pair one binding's connection with
+// another's breaker.
+func (c *Client) connAndBreaker() (*wire.Client, *wire.Breaker) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rpc, c.breakerLocked(c.cfg.DPAddr)
+}
+
+// breakerLocked returns (lazily creating) the breaker for addr, or nil
+// when breaking is disabled. Caller holds c.mu.
+func (c *Client) breakerLocked(addr string) *wire.Breaker {
+	if c.cfg.Breaker.Threshold <= 0 {
+		return nil
+	}
+	if b := c.breakers[addr]; b != nil {
+		return b
+	}
+	bc := c.cfg.Breaker
+	if bc.Clock == nil {
+		bc.Clock = c.cfg.Clock
+	}
+	b := wire.NewBreaker(bc)
+	if c.breakers == nil {
+		c.breakers = make(map[string]*wire.Breaker)
+	}
+	c.breakers[addr] = b
+	return b
+}
+
+// newWireClient builds the RPC client for one decision-point binding,
+// carrying the retry policy, deadline propagation and shared metrics.
+// Used at construction and by every failover/provisioner rebind.
+func (c *Client) newWireClient(serverNode, addr string) *wire.Client {
+	return wire.NewClient(wire.ClientConfig{
+		Node:              c.cfg.Node,
+		ServerNode:        serverNode,
+		Addr:              addr,
+		Transport:         c.cfg.Transport,
+		Network:           c.cfg.Network,
+		Clock:             c.cfg.Clock,
+		Tracer:            c.cfg.Tracer,
+		Metrics:           c.cfg.WireMetrics,
+		Retry:             c.cfg.Retry,
+		PropagateDeadline: c.cfg.PropagateDeadline,
+	})
+}
+
+// errBreakerOpen is the locally-synthesized failure for a call the
+// circuit breaker rejected without touching the wire. It wraps
+// ErrOverloaded so failover accounting classifies it as the overload it
+// stands in for; it must never be fed back into Breaker.Record (the
+// breaker only eats real wire outcomes).
+var errBreakerOpen = fmt.Errorf("digruber: circuit breaker open: %w", wire.ErrOverloaded)
 
 // NewClient builds a client from its config.
 func NewClient(cfg ClientConfig) (*Client, error) {
@@ -148,21 +233,13 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if sel == nil {
 		sel = gruber.USLAAware{}
 	}
-	return &Client{
-		cfg: cfg,
-		rpc: wire.NewClient(wire.ClientConfig{
-			Node:       cfg.Node,
-			ServerNode: cfg.DPNode,
-			Addr:       cfg.DPAddr,
-			Transport:  cfg.Transport,
-			Network:    cfg.Network,
-			Clock:      cfg.Clock,
-			Tracer:     cfg.Tracer,
-			Metrics:    cfg.WireMetrics,
-		}),
+	c := &Client{
+		cfg:      cfg,
 		selector: sel,
 		clock:    cfg.Clock,
-	}, nil
+	}
+	c.rpc = c.newWireClient(cfg.DPNode, cfg.DPAddr)
+	return c, nil
 }
 
 // DPName returns the currently-assigned decision point's name.
@@ -190,10 +267,20 @@ func (c *Client) Schedule(j *grid.Job) Decision {
 		return c.scheduleSingleCall(j, start, dec, root)
 	}
 
-	rpc := c.conn()
+	rpc, br := c.connAndBreaker()
 	qs := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseQuery)
-	reply, err := wire.CallCtx[QueryArgs, QueryReply](rpc, qs.Context(), MethodQuery,
-		QueryArgs{Owner: j.Owner.String(), CPUs: j.CPUs}, c.cfg.Timeout)
+	var reply QueryReply
+	var err error
+	if br.Allow() {
+		reply, err = wire.CallCtx[QueryArgs, QueryReply](rpc, qs.Context(), MethodQuery,
+			QueryArgs{Owner: j.Owner.String(), CPUs: j.CPUs}, c.cfg.Timeout)
+		br.Record(err)
+	} else {
+		// Open breaker: fail locally and fall back immediately, instead
+		// of spending a timeout against a destination known to be down
+		// or drowning. Still counts toward failover.
+		err = errBreakerOpen
+	}
 	qs.End()
 	c.noteOutcome(err)
 	if err != nil {
@@ -235,6 +322,7 @@ func (c *Client) Schedule(j *grid.Job) Decision {
 	rs := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseReport)
 	_, err = wire.CallCtx[ReportArgs, ReportReply](rpc, rs.Context(), MethodReport, report, c.remaining(start))
 	rs.End()
+	br.Record(err)
 	if err != nil {
 		// The selection stands; only the bookkeeping was lost.
 		dec.Handled = false
@@ -248,13 +336,21 @@ func (c *Client) Schedule(j *grid.Job) Decision {
 // scheduleSingleCall is the one-round-trip coupling: the decision point
 // selects and records in a single interaction.
 func (c *Client) scheduleSingleCall(j *grid.Job, start time.Time, dec Decision, root *trace.Span) Decision {
+	rpc, br := c.connAndBreaker()
 	qs := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseQuery)
-	reply, err := wire.CallCtx[ScheduleArgs, ScheduleReply](c.conn(), qs.Context(), MethodSchedule, ScheduleArgs{
-		JobID:   string(j.ID),
-		Owner:   j.Owner.String(),
-		CPUs:    j.CPUs,
-		Runtime: j.Runtime,
-	}, c.cfg.Timeout)
+	var reply ScheduleReply
+	var err error
+	if br.Allow() {
+		reply, err = wire.CallCtx[ScheduleArgs, ScheduleReply](rpc, qs.Context(), MethodSchedule, ScheduleArgs{
+			JobID:   string(j.ID),
+			Owner:   j.Owner.String(),
+			CPUs:    j.CPUs,
+			Runtime: j.Runtime,
+		}, c.cfg.Timeout)
+		br.Record(err)
+	} else {
+		err = errBreakerOpen
+	}
 	qs.End()
 	c.noteOutcome(err)
 	switch {
@@ -333,16 +429,7 @@ func (c *Client) Rebind(dpName, dpNode, addr string) {
 	c.cfg.DPNode = dpNode
 	c.cfg.DPAddr = addr
 	c.consecFails = 0
-	c.rpc = wire.NewClient(wire.ClientConfig{
-		Node:       c.cfg.Node,
-		ServerNode: dpNode,
-		Addr:       addr,
-		Transport:  c.cfg.Transport,
-		Network:    c.cfg.Network,
-		Clock:      c.cfg.Clock,
-		Tracer:     c.cfg.Tracer,
-		Metrics:    c.cfg.WireMetrics,
-	})
+	c.rpc = c.newWireClient(dpNode, addr)
 	// Close the old connection in the background once its in-flight
 	// calls have had a chance to finish — unless Close arrives first, in
 	// which case the stop channel fires and the close happens right away
@@ -370,6 +457,9 @@ func (c *Client) Rebind(dpName, dpNode, addr string) {
 // bound decision point. On the configured number of consecutive failures
 // it rebinds to the next Failover entry that differs from the current
 // binding; random per-job fallback still covers the requests in between.
+// With LoadAwareFailover set the ring choice is only the default: the
+// client Status-probes every distinct candidate and rebinds to the
+// least-loaded live one instead.
 func (c *Client) noteOutcome(err error) {
 	c.mu.Lock()
 	if err == nil {
@@ -386,6 +476,8 @@ func (c *Client) noteOutcome(err error) {
 		c.mu.Unlock()
 		return
 	}
+	// Ring order, exactly as before load awareness existed: advance
+	// failoverIdx past the chosen entry so successive failovers cycle.
 	var next DPRef
 	found := false
 	for i := 0; i < len(c.cfg.Failover); i++ {
@@ -396,10 +488,89 @@ func (c *Client) noteOutcome(err error) {
 			break
 		}
 	}
-	c.mu.Unlock()
-	if found {
-		c.Rebind(next.Name, next.Node, next.Addr)
+	// Distinct candidates in list order, for the load-aware probe. The
+	// window is capped: failover happens while the client is already
+	// failing jobs, and probing a long chain serially against a
+	// saturated fleet would cost up to a probe timeout per entry.
+	var candidates []DPRef
+	if found && c.cfg.LoadAwareFailover {
+		seen := make(map[DPRef]bool, len(c.cfg.Failover))
+		for _, ref := range c.cfg.Failover {
+			if (ref.Addr != c.cfg.DPAddr || ref.Name != c.cfg.DPName) && !seen[ref] {
+				seen[ref] = true
+				candidates = append(candidates, ref)
+				if len(candidates) == maxLoadProbes {
+					break
+				}
+			}
+		}
 	}
+	c.mu.Unlock()
+	if !found {
+		return
+	}
+	if len(candidates) > 1 {
+		if best, ok := c.leastLoaded(candidates); ok {
+			next = best
+		}
+	}
+	c.Rebind(next.Name, next.Node, next.Addr)
+}
+
+// maxLoadProbes bounds how many failover candidates a load-aware rebind
+// will Status-probe, keeping the worst case (every probe timing out) a
+// small multiple of probeTimeout even with a long failover chain.
+const maxLoadProbes = 4
+
+// probeTimeout bounds one load probe; failover is the moment the client
+// is already failing jobs, so probes stay much cheaper than a full
+// request timeout.
+func (c *Client) probeTimeout() time.Duration {
+	if t := c.cfg.Timeout / 4; t > 0 {
+		return t
+	}
+	return time.Second
+}
+
+// leastLoaded Status-probes the failover candidates and returns the one
+// with the smallest queued + in-flight backlog. Candidates whose
+// breakers are open are skipped without a probe (known bad); candidates
+// that do not answer are skipped and their breaker fed the failure.
+// Ties keep the earliest candidate in list order, so the choice is
+// deterministic. ok is false when nothing answered — the caller then
+// keeps the ring-order choice.
+func (c *Client) leastLoaded(candidates []DPRef) (best DPRef, ok bool) {
+	var bestLoad int64
+	for _, ref := range candidates {
+		c.mu.Lock()
+		br := c.breakerLocked(ref.Addr)
+		c.mu.Unlock()
+		if br.State() == wire.BreakerOpen {
+			continue
+		}
+		// A short-lived bare connection: no retries (a dead candidate
+		// should cost one fast failure) and no fleet metrics (probes are
+		// control-plane traffic, not scheduling calls).
+		probe := wire.NewClient(wire.ClientConfig{
+			Node:       c.cfg.Node,
+			ServerNode: ref.Node,
+			Addr:       ref.Addr,
+			Transport:  c.cfg.Transport,
+			Network:    c.cfg.Network,
+			Clock:      c.cfg.Clock,
+		})
+		st, err := wire.Call[StatusArgs, StatusReply](probe, MethodStatus, StatusArgs{}, c.probeTimeout())
+		probe.Close()
+		if err != nil {
+			br.Record(err)
+			continue
+		}
+		load := int64(st.Queued) + st.InFlight
+		if !ok || load < bestLoad {
+			best, bestLoad, ok = ref, load, true
+		}
+	}
+	return best, ok
 }
 
 // Close releases the client's connections (the live one and any still

@@ -41,6 +41,12 @@ type Config struct {
 	// Saturation configures the self-saturation detector; zero values
 	// get defaults.
 	Saturation SaturationConfig
+	// MeshLane reserves this many dedicated service-stack workers for
+	// mesh and monitoring RPCs (Exchange, Status, Snapshot), so a
+	// client-saturated decision point keeps converging its view and
+	// stays observable. 0 disables the lane (all methods share the
+	// container's worker pool, as before).
+	MeshLane int
 	// Tracer, when non-nil, records this decision point's server-side,
 	// engine and mesh-exchange spans. Nil disables tracing at zero cost.
 	Tracer *trace.Tracer
@@ -180,15 +186,31 @@ func New(cfg Config) (*DecisionPoint, error) {
 	dp := &DecisionPoint{
 		cfg:      cfg,
 		engine:   gruber.NewEngine(cfg.Name, cfg.Policies, cfg.Clock),
-		server:   wire.NewServer(cfg.Node, cfg.Profile, cfg.Clock),
 		detector: NewSaturationDetector(cfg.Saturation, cfg.Clock),
 		peers:    make(map[string]*peerLink),
 	}
 	dp.engine.SetTracer(cfg.Tracer)
-	dp.server.SetTracer(cfg.Tracer)
+	dp.server = dp.newServer()
 	dp.registerMetrics(cfg.Metrics)
 	dp.registerHandlers()
 	return dp, nil
+}
+
+// meshLaneQueue bounds the reserved lane's waiting requests: mesh and
+// monitoring traffic is low-rate by design, so a deep backlog would only
+// mean the lane is undersized.
+const meshLaneQueue = 16
+
+// newServer builds the decision point's wire server, applying the
+// tracer and the reserved mesh lane. Used at construction and on every
+// restart (wire servers are single-use).
+func (dp *DecisionPoint) newServer() *wire.Server {
+	s := wire.NewServer(dp.cfg.Node, dp.cfg.Profile, dp.cfg.Clock)
+	s.SetTracer(dp.cfg.Tracer)
+	if dp.cfg.MeshLane > 0 {
+		s.ReserveLane(dp.cfg.MeshLane, meshLaneQueue, MethodExchange, MethodStatus, MethodSnapshot)
+	}
+	return s
 }
 
 // Name returns the decision point's identity.
@@ -363,6 +385,7 @@ func (dp *DecisionPoint) Status() StatusReply {
 		CapacityRate:     capacity,
 		Peers:            peers,
 		At:               dp.cfg.Clock.Now(),
+		Expired:          ss.Expired,
 	}
 }
 
@@ -420,8 +443,7 @@ func (dp *DecisionPoint) Start() error {
 		return fmt.Errorf("digruber: decision point %s already started", dp.cfg.Name)
 	}
 	if dp.server == nil {
-		dp.server = wire.NewServer(dp.cfg.Node, dp.cfg.Profile, dp.cfg.Clock)
-		dp.server.SetTracer(dp.cfg.Tracer)
+		dp.server = dp.newServer()
 		dp.registerHandlers()
 	}
 	for _, link := range dp.peers {

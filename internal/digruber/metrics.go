@@ -57,8 +57,11 @@ func (dp *DecisionPoint) registerMetrics(reg *tsdb.Registry) {
 		{"wire/failed", func(st wire.Stats) float64 { return float64(st.Failed) }},
 		{"wire/shed", func(st wire.Stats) float64 { return float64(st.Shed) }},
 		{"wire/conn_lost", func(st wire.Stats) float64 { return float64(st.ConnLost) }},
+		{"wire/expired", func(st wire.Stats) float64 { return float64(st.Expired) }},
 		{"wire/inflight", func(st wire.Stats) float64 { return float64(st.InFlight) }},
 		{"wire/queue", func(st wire.Stats) float64 { return float64(st.Queued) }},
+		{"wire/lane_queue", func(st wire.Stats) float64 { return float64(st.LaneQueued) }},
+		{"wire/lane_inflight", func(st wire.Stats) float64 { return float64(st.LaneInFlight) }},
 	} {
 		s := s
 		reg.GaugeFunc(p+s.name, func(now time.Time) float64 { return s.v(dp.serverStats()) })

@@ -195,9 +195,16 @@ type StatusReply struct {
 	At time.Time
 	// Metrics is the decision point's latest metrics snapshot, attached
 	// only when StatusArgs.WithMetrics is set and a registry is wired.
-	// It is deliberately the LAST field: gob's value encoding elides
-	// zero fields and delta-encodes field indices, so appending here
-	// keeps frames without metrics byte-identical to pre-metrics builds
-	// (see TestStatusWireCompat).
+	// Extension fields (Metrics and everything after it) are append-only:
+	// gob's value encoding elides zero fields and delta-encodes field
+	// indices, so appending keeps replies without the extensions
+	// byte-identical to older builds, while inserting earlier would
+	// renumber every later field (see TestStatusWireCompat).
 	Metrics []MetricSample
+	// Expired counts requests the service stack dropped unprocessed at
+	// dequeue because the caller's propagated deadline had already
+	// passed — the overload-control plane's stale-work measure
+	// (wire.Stats.Expired). Zero on pre-overload builds and elided from
+	// the encoding when zero.
+	Expired int64
 }

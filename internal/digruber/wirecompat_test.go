@@ -193,3 +193,103 @@ func TestStatusCrossDecode(t *testing.T) {
 		t.Fatal("empty args decoded WithMetrics=true")
 	}
 }
+
+// MetricSample mirrors digruber.MetricSample (unchanged by the overload
+// extension).
+type MetricSample struct {
+	Name string
+	V    float64
+}
+
+// StatusReplyV5 is the metrics-era reply shape (PR 4): Metrics already
+// appended, the overload plane's Expired counter not yet.
+type StatusReplyV5 struct {
+	Name             string
+	Queries          int64
+	LocalDispatches  int64
+	RemoteDispatches int64
+	Received         int64
+	Completed        int64
+	Shed             int64
+	ConnLost         int64
+	InFlight         int64
+	Queued           int
+	Saturated        bool
+	ObservedRate     float64
+	CapacityRate     float64
+	Peers            []PeerHealth
+	At               time.Time
+	Metrics          []MetricSample
+}
+
+func v5Reply() StatusReplyV5 {
+	return StatusReplyV5{
+		Name: "dp-0", Queries: 42, LocalDispatches: 7, RemoteDispatches: 3,
+		Received: 50, Completed: 48, Shed: 1, ConnLost: 1, InFlight: 2, Queued: 4,
+		Saturated: true, ObservedRate: 2.5, CapacityRate: 2.0,
+		Peers: []PeerHealth{
+			{Name: "dp-1", State: "alive"},
+			{Name: "dp-2", State: "dead", ConsecutiveFails: 5},
+		},
+		At:      compatEpoch.Add(17 * time.Minute),
+		Metrics: []MetricSample{{Name: "dp/dp-0/wire/inflight", V: 2}},
+	}
+}
+
+// TestStatusExpiredWireCompat extends the append-only regression gate to
+// the overload plane's Expired field: a reply with Expired zero — even
+// one carrying a metrics snapshot — encodes byte-identically to the
+// PR-4 shape, and the field costs bytes only when set. (Value bodies
+// carry no type names, so the differently-named replica compares
+// cleanly.)
+func TestStatusExpiredWireCompat(t *testing.T) {
+	cur := newReply()
+	cur.Metrics = []digruber.MetricSample{{Name: "dp/dp-0/wire/inflight", V: 2}}
+	oldMsg := primedEncode(t, StatusReplyV5{Name: "p"}, v5Reply())
+	newMsg := primedEncode(t, digruber.StatusReply{Name: "p"}, cur)
+	if old, new := valueBody(t, oldMsg), valueBody(t, newMsg); !bytes.Equal(old, new) {
+		t.Fatalf("expired-free reply value encoding changed:\n old %x\n new %x", old, new)
+	}
+
+	withExpired := cur
+	withExpired.Expired = 9
+	extended := primedEncode(t, digruber.StatusReply{Name: "p"}, withExpired)
+	if bytes.Equal(valueBody(t, newMsg), valueBody(t, extended)) {
+		t.Fatal("setting Expired did not change the encoding")
+	}
+}
+
+// TestStatusExpiredCrossDecode: PR-4 and current shapes interoperate in
+// both directions around the Expired field.
+func TestStatusExpiredCrossDecode(t *testing.T) {
+	// Old sender → new receiver: Expired stays zero.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v5Reply()); err != nil {
+		t.Fatal(err)
+	}
+	var got digruber.StatusReply
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	want := newReply()
+	want.Metrics = []digruber.MetricSample{{Name: "dp/dp-0/wire/inflight", V: 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v5→new decode mismatch:\n got %+v\nwant %+v", got, want)
+	}
+
+	// New sender (with Expired) → old receiver: the counter is dropped,
+	// everything else survives.
+	withExpired := want
+	withExpired.Expired = 9
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(withExpired); err != nil {
+		t.Fatal(err)
+	}
+	var old StatusReplyV5
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old, v5Reply()) {
+		t.Fatalf("new→v5 decode mismatch:\n got %+v\nwant %+v", old, v5Reply())
+	}
+}

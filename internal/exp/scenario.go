@@ -82,6 +82,44 @@ type ScenarioConfig struct {
 	MetricsSink *tsdb.Registry
 	// MetricsInterval is the sampling period (default Scale.Window).
 	MetricsInterval time.Duration
+	// Overload, when non-nil, gives clients a retry policy and (when
+	// Overload.Plane is set) turns on the end-to-end overload-control
+	// plane. Nil keeps the PR-4 behavior: no retries, no breakers, no
+	// deadline propagation.
+	Overload *OverloadConfig
+}
+
+// OverloadConfig parameterizes a run driven at or past its saturation
+// knee. With Plane false the clients merely retry — the configuration
+// whose amplification the control plane exists to bound. With Plane true
+// the full plane engages: deadlines propagate in the request envelope
+// (stale work is dropped at dequeue), retries spend a shared fleet-wide
+// budget, every client runs per-broker circuit breakers with load-aware
+// failover, and every decision point reserves a mesh lane so its view
+// keeps converging while clients drown it.
+type OverloadConfig struct {
+	Plane bool
+	// Attempts is the per-call attempt cap including the first try
+	// (default 4).
+	Attempts int
+	// BaseBackoff seeds the exponential retry backoff (default 250 ms);
+	// each client jitters it from its own seeded stream.
+	BaseBackoff time.Duration
+	// BudgetRate and BudgetBurst shape the shared retry budget (tokens/s
+	// of virtual time, bucket depth; Plane only). Defaults: a quarter of
+	// the fleet's offered first-attempt rate, with two seconds of burst —
+	// enough for transient blips, nowhere near enough to double a
+	// saturated fleet's load.
+	BudgetRate  float64
+	BudgetBurst float64
+	// BreakerThreshold and BreakerCooldown parameterize the per-broker
+	// circuit breakers (Plane only; defaults 5 consecutive failures,
+	// cooldown twice the client timeout).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// MeshLane is each decision point's reserved worker count for
+	// Exchange/Status/Snapshot (Plane only; default 1).
+	MeshLane int
 }
 
 // FaultConfig schedules a seeded crash-and-heal wave against the
@@ -140,6 +178,30 @@ func (c *ScenarioConfig) setDefaults() error {
 			c.Faults.CrashDPs = c.DPs - 1
 		}
 	}
+	if o := c.Overload; o != nil {
+		if o.Attempts <= 0 {
+			o.Attempts = 4
+		}
+		if o.BaseBackoff <= 0 {
+			o.BaseBackoff = 250 * time.Millisecond
+		}
+		offered := float64(c.Clients) / c.Interarrival.Seconds()
+		if o.BudgetRate <= 0 {
+			o.BudgetRate = offered / 4
+		}
+		if o.BudgetBurst <= 0 {
+			o.BudgetBurst = 2 * o.BudgetRate
+		}
+		if o.BreakerThreshold <= 0 {
+			o.BreakerThreshold = 5
+		}
+		if o.BreakerCooldown <= 0 {
+			o.BreakerCooldown = 2 * c.Timeout
+		}
+		if o.MeshLane <= 0 {
+			o.MeshLane = 1
+		}
+	}
 	if c.Profile.Name == "" {
 		c.Profile = wire.GT3()
 	}
@@ -184,6 +246,14 @@ type ScenarioResult struct {
 	// the input GRUB-SIM replays, as the paper did with its PlanetLab
 	// logs.
 	Trace grubsim.Trace
+	// ClientWire is the submission fleet's aggregate wire-call counters
+	// (attempts, retries, throttles, failure classes). Zero unless
+	// metrics or overload control were configured.
+	ClientWire wire.ClientStats
+	// DPStatus holds each decision point's final self-report in index
+	// order — the per-broker shed/conn-lost/expired accounting the
+	// overload analysis reads.
+	DPStatus []digruber.StatusReply
 }
 
 // RunScenario executes one live emulation and blocks until it finishes
@@ -229,6 +299,10 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	policies := wl.policies
 
 	// --- decision points (full mesh or star) ---
+	meshLane := 0
+	if o := cfg.Overload; o != nil && o.Plane {
+		meshLane = o.MeshLane
+	}
 	dps := make([]*digruber.DecisionPoint, cfg.DPs)
 	for i := range dps {
 		dp, err := digruber.New(digruber.Config{
@@ -245,6 +319,7 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 			PeerTimeout:      cfg.Timeout,
 			Tracer:           tracerFor(fmt.Sprintf("dp-%d", i)),
 			Metrics:          cfg.MetricsSink,
+			MeshLane:         meshLane,
 		})
 		if err != nil {
 			return ScenarioResult{}, err
@@ -338,9 +413,36 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	// (nil when metrics are off, which keeps the per-call cost at one
 	// nil check).
 	var wireMetrics *wire.ClientMetrics
-	if cfg.MetricsSink != nil {
+	if cfg.MetricsSink != nil || cfg.Overload != nil {
 		wireMetrics = wire.NewClientMetrics()
 		wireMetrics.Register(cfg.MetricsSink, "clients/wire")
+	}
+	// Shared overload-control machinery. The retry budget is one bucket
+	// for the whole fleet — that is the point: it caps aggregate retry
+	// volume, not each client's. Breaker transitions land in fleet-wide
+	// counters (nil-safe when metrics are off).
+	var retryBudget *wire.RetryBudget
+	var breakerCfg wire.BreakerConfig
+	if o := cfg.Overload; o != nil && o.Plane {
+		retryBudget = wire.NewRetryBudget(clock, o.BudgetRate, o.BudgetBurst)
+		brkOpen := cfg.MetricsSink.Counter("clients/breaker/open")
+		brkHalf := cfg.MetricsSink.Counter("clients/breaker/half_open")
+		brkClosed := cfg.MetricsSink.Counter("clients/breaker/closed")
+		breakerCfg = wire.BreakerConfig{
+			Clock:     clock,
+			Threshold: o.BreakerThreshold,
+			Cooldown:  o.BreakerCooldown,
+			OnTransition: func(from, to wire.BreakerState) {
+				switch to {
+				case wire.BreakerOpen:
+					brkOpen.Inc()
+				case wire.BreakerHalfOpen:
+					brkHalf.Inc()
+				default:
+					brkClosed.Inc()
+				}
+			},
+		}
 	}
 	clients := make([]*digruber.Client, cfg.Clients)
 	for t := range clients {
@@ -349,12 +451,13 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		if err != nil {
 			return ScenarioResult{}, err
 		}
-		// Under a fault schedule every client also carries a failover
-		// chain: the remaining brokers in ring order from its primary. A
-		// client whose broker dies rebinds after a few failures instead of
-		// paying a timeout plus random fallback for every remaining job.
+		// Under a fault schedule — or with the overload plane's breakers
+		// on — every client also carries a failover chain: the remaining
+		// brokers in ring order from its primary. A client whose broker
+		// dies (or drowns) rebinds after a few failures instead of paying
+		// a timeout plus random fallback for every remaining job.
 		var failover []digruber.DPRef
-		if cfg.Faults != nil {
+		if cfg.Faults != nil || (cfg.Overload != nil && cfg.Overload.Plane) {
 			for k := 1; k < cfg.DPs; k++ {
 				j := (dpIdx + k) % cfg.DPs
 				failover = append(failover, digruber.DPRef{
@@ -364,7 +467,7 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 				})
 			}
 		}
-		c, err := digruber.NewClient(digruber.ClientConfig{
+		ccfg := digruber.ClientConfig{
 			Selector:      sel,
 			SingleCall:    cfg.SingleCall,
 			Name:          wl.gen.HostName(t),
@@ -381,7 +484,25 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 			Failover:      failover,
 			Tracer:        tracerFor(wl.gen.HostName(t)),
 			WireMetrics:   wireMetrics,
-		})
+		}
+		if o := cfg.Overload; o != nil {
+			// Retries with or without the plane; only the plane bounds
+			// them with the shared budget. Jitter comes from a per-client
+			// stream (netsim streams are not goroutine-safe).
+			ccfg.Retry = wire.RetryPolicy{
+				Attempts:    o.Attempts,
+				BaseBackoff: o.BaseBackoff,
+				JitterFrac:  0.5,
+				Jitter:      netsim.Stream(cfg.Seed, fmt.Sprintf("exp.retryjitter/%d", t)),
+				Budget:      retryBudget,
+			}
+			if o.Plane {
+				ccfg.PropagateDeadline = true
+				ccfg.Breaker = breakerCfg
+				ccfg.LoadAwareFailover = true
+			}
+		}
+		c, err := digruber.NewClient(ccfg)
 		if err != nil {
 			return ScenarioResult{}, err
 		}
@@ -477,8 +598,10 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	res.OverallAccuracy = collector.AccuracyMean(nil)
 	res.Util = grid.Utilization(g.ConsumedCPU(), g.TotalCPUs(), cfg.Scale.Duration)
 	res.CompletedJobs = g.CompletedJobs()
+	res.ClientWire = wireMetrics.Stats()
 	for _, dp := range dps {
 		res.ExchangeRounds += dp.ExchangeRounds()
+		res.DPStatus = append(res.DPStatus, dp.Status())
 	}
 	arrivals.Sort()
 	res.Trace = arrivals

@@ -28,6 +28,7 @@ type Client struct {
 	retry      RetryPolicy
 	tracer     *trace.Tracer
 	metrics    *ClientMetrics
+	propagate  bool
 
 	mu      sync.Mutex
 	conn    Conn
@@ -66,6 +67,12 @@ type ClientConfig struct {
 	// per-failure-class outcomes. A set may be shared by many clients to
 	// aggregate a fleet; nil disables counting at zero cost.
 	Metrics *ClientMetrics
+	// PropagateDeadline stamps each request frame with the call's
+	// absolute deadline, letting the server drop requests that expire in
+	// its queue (ErrExpired) instead of burning a worker on them. Off by
+	// default: unstamped frames are byte-identical to pre-deadline
+	// builds.
+	PropagateDeadline bool
 }
 
 // RetryPolicy bounds automatic retry of failed calls. Only failures the
@@ -88,6 +95,12 @@ type RetryPolicy struct {
 	// with Jitter nil no jitter is applied.
 	JitterFrac float64
 	Jitter     interface{ Float64() float64 }
+	// Budget, when non-nil, is a windowed retry budget (usually shared
+	// fleet-wide): every retry must first win a token, and a denied
+	// retry surfaces the original failure immediately. Backoff bounds
+	// retries in time; the budget bounds them in volume — together they
+	// cap a saturated fleet's retry amplification.
+	Budget *RetryBudget
 }
 
 // enabled reports whether the policy retries at all.
@@ -134,6 +147,7 @@ func NewClient(cfg ClientConfig) *Client {
 		retry:      cfg.Retry,
 		tracer:     cfg.Tracer,
 		metrics:    cfg.Metrics,
+		propagate:  cfg.PropagateDeadline,
 		pending:    make(map[uint64]chan frame),
 	}
 }
@@ -228,6 +242,13 @@ func (c *Client) CallCtx(parent trace.SpanContext, method string, body []byte, t
 		return resp, err
 	}
 	for attempt := 1; attempt < c.retry.Attempts && c.retry.retryable(err); attempt++ {
+		// The budget check comes before the backoff sleep: a denied retry
+		// should fail over (or degrade) immediately, not pay a pause for
+		// an attempt it will never make.
+		if !c.retry.Budget.Allow() {
+			c.metrics.onThrottle()
+			break
+		}
 		if d := c.retry.backoff(attempt); d > 0 {
 			bs := c.tracer.StartSpan(parent, trace.PhaseBackoff)
 			c.clock.Sleep(d)
@@ -288,9 +309,13 @@ func (c *Client) attemptCall(ctx trace.SpanContext, method string, body []byte, 
 	conn := c.conn
 	c.mu.Unlock()
 
+	var dl int64
+	if c.propagate {
+		dl = deadline.UnixNano()
+	}
 	c.wmu.Lock()
 	err := enc.Encode(frame{ID: id, Kind: frameRequest, Method: method, Body: body,
-		Trace: ctx.Trace, Span: ctx.Span})
+		Trace: ctx.Trace, Span: ctx.Span, Deadline: dl})
 	c.wmu.Unlock()
 	if err != nil {
 		c.forget(id)
@@ -309,6 +334,8 @@ func (c *Client) attemptCall(ctx trace.SpanContext, method string, body []byte, 
 			switch {
 			case f.Err == ErrOverloaded.Error():
 				return nil, ErrOverloaded
+			case f.Err == ErrExpired.Error():
+				return nil, ErrExpired
 			case strings.HasPrefix(f.Err, connLostPrefix):
 				return nil, fmt.Errorf("%w: %s", ErrConnLost, strings.TrimPrefix(f.Err, connLostPrefix))
 			}

@@ -1,0 +1,127 @@
+// Wire-compatibility regression tests for the frame's Deadline
+// extension. They live inside the package because the frame type is
+// unexported. The pre-deadline replica cannot reuse the name "frame",
+// but that is fine: gob value messages carry field/value encodings and a
+// stream-local type ID, never type names (only descriptor messages name
+// types), and the comparisons below strip the framing down to the value
+// body.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+)
+
+// frameV4 is the PR-4 frame shape: every field up to and including
+// Span, without the appended Deadline.
+type frameV4 struct {
+	ID     uint64
+	Kind   byte
+	Method string
+	Body   []byte
+	Err    string
+	Trace  uint64
+	Span   uint64
+}
+
+func sampleFrameV4() frameV4 {
+	return frameV4{ID: 9, Kind: frameRequest, Method: "DIGRUBER.QuerySiteLoads",
+		Body: []byte{1, 2, 3}, Trace: 77, Span: 5}
+}
+
+func sampleFrame() frame {
+	return frame{ID: 9, Kind: frameRequest, Method: "DIGRUBER.QuerySiteLoads",
+		Body: []byte{1, 2, 3}, Trace: 77, Span: 5}
+}
+
+// framePrimedEncode encodes prime (carrying the type descriptors) and
+// then v on one gob stream, returning only v's message bytes — exactly
+// what an established connection's persistent encoder transmits per
+// frame.
+func framePrimedEncode(t *testing.T, prime, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(prime); err != nil {
+		t.Fatalf("prime: %v", err)
+	}
+	n := buf.Len()
+	if err := enc.Encode(v); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return append([]byte(nil), buf.Bytes()[n:]...)
+}
+
+// frameValueBody strips a gob value message's framing — the byte-count
+// prefix and the stream-local type ID — leaving the field/value
+// encoding.
+func frameValueBody(t *testing.T, msg []byte) []byte {
+	t.Helper()
+	skipUint := func(b []byte) []byte {
+		if len(b) == 0 {
+			t.Fatal("short gob message")
+		}
+		if b[0] < 0x80 {
+			return b[1:]
+		}
+		return b[1+(256-int(b[0])):]
+	}
+	return skipUint(skipUint(msg))
+}
+
+// TestFrameDeadlineWireCompat is the regression gate for the Deadline
+// extension: a frame without a deadline encodes byte-identically to the
+// PR-4 shape (gob elides zero fields and delta-encodes field indices),
+// so mixed-version meshes keep interoperating and old byte-level traces
+// stay valid. This is why Deadline must stay the LAST frame field.
+func TestFrameDeadlineWireCompat(t *testing.T) {
+	oldMsg := framePrimedEncode(t, frameV4{ID: 1}, sampleFrameV4())
+	newMsg := framePrimedEncode(t, frame{ID: 1}, sampleFrame())
+	if old, new := frameValueBody(t, oldMsg), frameValueBody(t, newMsg); !bytes.Equal(old, new) {
+		t.Fatalf("deadline-free frame value encoding changed:\n old %x\n new %x", old, new)
+	}
+
+	// And the field pays its way only when set.
+	with := sampleFrame()
+	with.Deadline = 1234567890
+	extended := framePrimedEncode(t, frame{ID: 1}, with)
+	if bytes.Equal(frameValueBody(t, newMsg), frameValueBody(t, extended)) {
+		t.Fatal("setting Deadline did not change the encoding")
+	}
+}
+
+// TestFrameDeadlineCrossDecode: the shapes interoperate in both
+// directions — an old peer's frame decodes with Deadline zero (treated
+// as "no deadline"), and a new frame's Deadline is silently dropped by
+// an old decoder with every other field intact.
+func TestFrameDeadlineCrossDecode(t *testing.T) {
+	// Old sender → new receiver.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sampleFrameV4()); err != nil {
+		t.Fatal(err)
+	}
+	var got frame
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sampleFrame()) {
+		t.Fatalf("old→new decode mismatch:\n got %+v\nwant %+v", got, sampleFrame())
+	}
+
+	// New sender (with deadline) → old receiver.
+	with := sampleFrame()
+	with.Deadline = 42
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(with); err != nil {
+		t.Fatal(err)
+	}
+	var old frameV4
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old, sampleFrameV4()) {
+		t.Fatalf("new→old decode mismatch:\n got %+v\nwant %+v", old, sampleFrameV4())
+	}
+}

@@ -16,6 +16,14 @@ import (
 func (s *Server) RegisterMetrics(reg *tsdb.Registry, prefix string) {
 	reg.GaugeFunc(prefix+"/inflight", func(now time.Time) float64 { return float64(s.inflight.Load()) })
 	reg.GaugeFunc(prefix+"/queue", func(now time.Time) float64 { return float64(len(s.work)) })
+	// Reserved-lane occupancy: zero series when no lane is configured.
+	reg.GaugeFunc(prefix+"/lane_queue", func(now time.Time) float64 {
+		if s.laneWork == nil {
+			return 0
+		}
+		return float64(len(s.laneWork))
+	})
+	reg.GaugeFunc(prefix+"/lane_inflight", func(now time.Time) float64 { return float64(s.laneInflight.Load()) })
 	for _, c := range []struct {
 		name string
 		v    *atomic.Int64
@@ -25,6 +33,7 @@ func (s *Server) RegisterMetrics(reg *tsdb.Registry, prefix string) {
 		{"/failed", &s.failed},
 		{"/shed", &s.shed},
 		{"/conn_lost", &s.connLost},
+		{"/expired", &s.expired},
 	} {
 		v := c.v
 		reg.GaugeFunc(prefix+c.name, func(now time.Time) float64 { return float64(v.Load()) })
@@ -36,15 +45,17 @@ func (s *Server) RegisterMetrics(reg *tsdb.Registry, prefix string) {
 // links). All methods are safe on a nil receiver, so un-instrumented
 // clients pay one nil check per call.
 type ClientMetrics struct {
-	calls    atomic.Int64 // logical calls (CallCtx invocations)
-	attempts atomic.Int64 // individual attempts, retries included
-	retries  atomic.Int64
-	ok       atomic.Int64
-	timeout  atomic.Int64
-	overload atomic.Int64
-	refused  atomic.Int64
-	lost     atomic.Int64
-	other    atomic.Int64 // FailureClosed and application-level errors
+	calls     atomic.Int64 // logical calls (CallCtx invocations)
+	attempts  atomic.Int64 // individual attempts, retries included
+	retries   atomic.Int64
+	throttled atomic.Int64 // retries denied by the retry budget
+	ok        atomic.Int64
+	timeout   atomic.Int64
+	overload  atomic.Int64
+	refused   atomic.Int64
+	lost      atomic.Int64
+	expired   atomic.Int64
+	other     atomic.Int64 // FailureClosed and application-level errors
 }
 
 // NewClientMetrics returns an empty, shareable counter set.
@@ -64,11 +75,13 @@ func (m *ClientMetrics) Register(reg *tsdb.Registry, prefix string) {
 		{"/calls", &m.calls},
 		{"/attempts", &m.attempts},
 		{"/retries", &m.retries},
+		{"/throttled", &m.throttled},
 		{"/ok", &m.ok},
 		{"/timeout", &m.timeout},
 		{"/overload", &m.overload},
 		{"/refused", &m.refused},
 		{"/lost", &m.lost},
+		{"/expired", &m.expired},
 		{"/failed", &m.other},
 	} {
 		v := c.v
@@ -94,6 +107,13 @@ func (m *ClientMetrics) onRetry() {
 	}
 }
 
+// onThrottle counts a retry the budget denied.
+func (m *ClientMetrics) onThrottle() {
+	if m != nil {
+		m.throttled.Add(1)
+	}
+}
+
 // onResult classifies a finished logical call's outcome.
 func (m *ClientMetrics) onResult(err error) {
 	if m == nil {
@@ -112,6 +132,8 @@ func (m *ClientMetrics) onResult(err error) {
 		m.refused.Add(1)
 	case FailureLost:
 		m.lost.Add(1)
+	case FailureExpired:
+		m.expired.Add(1)
 	default:
 		m.other.Add(1)
 	}
@@ -121,8 +143,10 @@ func (m *ClientMetrics) onResult(err error) {
 // and status displays.
 type ClientStats struct {
 	Calls, Attempts, Retries         int64
+	Throttled                        int64
 	OK                               int64
 	Timeout, Overload, Refused, Lost int64
+	Expired                          int64
 	Other                            int64
 }
 
@@ -132,14 +156,16 @@ func (m *ClientMetrics) Stats() ClientStats {
 		return ClientStats{}
 	}
 	return ClientStats{
-		Calls:    m.calls.Load(),
-		Attempts: m.attempts.Load(),
-		Retries:  m.retries.Load(),
-		OK:       m.ok.Load(),
-		Timeout:  m.timeout.Load(),
-		Overload: m.overload.Load(),
-		Refused:  m.refused.Load(),
-		Lost:     m.lost.Load(),
-		Other:    m.other.Load(),
+		Calls:     m.calls.Load(),
+		Attempts:  m.attempts.Load(),
+		Retries:   m.retries.Load(),
+		Throttled: m.throttled.Load(),
+		OK:        m.ok.Load(),
+		Timeout:   m.timeout.Load(),
+		Overload:  m.overload.Load(),
+		Refused:   m.refused.Load(),
+		Lost:      m.lost.Load(),
+		Expired:   m.expired.Load(),
+		Other:     m.other.Load(),
 	}
 }

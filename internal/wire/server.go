@@ -47,13 +47,22 @@ type Server struct {
 	wg      sync.WaitGroup
 	closeCh chan struct{}
 
+	// Reserved lane (see ReserveLane): laneMethods routes matching
+	// requests into laneWork, which dedicated workers drain — so mesh
+	// and monitoring RPCs don't wait behind a saturated client queue.
+	// Both are set before Serve and never change afterwards.
+	laneMethods map[string]bool
+	laneWork    chan job
+
 	// counters
-	received  atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	shed      atomic.Int64
-	connLost  atomic.Int64
-	inflight  atomic.Int64
+	received     atomic.Int64
+	completed    atomic.Int64
+	failed       atomic.Int64
+	shed         atomic.Int64
+	connLost     atomic.Int64
+	expired      atomic.Int64
+	inflight     atomic.Int64
+	laneInflight atomic.Int64
 
 	statMu  sync.Mutex
 	service stats.Online // observed service times, seconds
@@ -84,6 +93,54 @@ func NewServer(node string, profile StackProfile, clock vtime.Clock) *Server {
 		go s.worker()
 	}
 	return s
+}
+
+// ReserveLane dedicates workers container threads (with a waiting queue
+// of queueLimit, default 16) to the given methods, routing them around
+// the shared accept queue. This is capacity reservation for control
+// traffic: a decision point drowning in client queries would otherwise
+// also starve its mesh exchanges and Status polls, coupling overload to
+// view divergence and monitoring blindness. Lane overflow is shed like
+// main-queue overflow.
+//
+// Call before Serve; the lane is fixed for the server's lifetime.
+func (s *Server) ReserveLane(workers, queueLimit int, methods ...string) {
+	if workers <= 0 || len(methods) == 0 {
+		return
+	}
+	if queueLimit <= 0 {
+		queueLimit = 16
+	}
+	s.mu.Lock()
+	if s.laneWork != nil || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.laneMethods = make(map[string]bool, len(methods))
+	for _, m := range methods {
+		s.laneMethods[m] = true
+	}
+	s.laneWork = make(chan job, queueLimit)
+	lane := s.laneWork
+	s.mu.Unlock()
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.laneWorker(lane)
+	}
+}
+
+func (s *Server) laneWorker(lane chan job) {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-lane:
+			s.laneInflight.Add(1)
+			s.process(j)
+			s.laneInflight.Add(-1)
+		case <-s.closeCh:
+			return
+		}
+	}
 }
 
 // Node returns the server's emulated node name.
@@ -205,8 +262,12 @@ func (s *Server) serveConn(raw Conn) {
 		if f.Trace != 0 && s.getTracer() != nil {
 			j.enqueuedAt = s.clock.Now()
 		}
+		queue := s.work
+		if s.laneWork != nil && s.laneMethods[f.Method] {
+			queue = s.laneWork
+		}
 		select {
-		case s.work <- j:
+		case queue <- j:
 		default:
 			// Accept queue full: shed load, as a saturated container
 			// effectively does once its thread and backlog limits are hit.
@@ -229,6 +290,20 @@ func (s *Server) worker() {
 }
 
 func (s *Server) process(j job) {
+	// Stale-work control: a request whose propagated deadline has passed
+	// is dropped here, at dequeue, before the handler or the emulated
+	// stack cost — its caller already timed out, so finishing the work
+	// would only be counted as ConnLost after burning a worker for the
+	// full service time. Expired drops are their own stat, not folded
+	// into completed or failed.
+	if dl := j.f.Deadline; dl != 0 && !s.clock.Now().Before(time.Unix(0, dl)) {
+		s.expired.Add(1)
+		if err := j.conn.send(frame{ID: j.f.ID, Kind: frameResponse, Err: ErrExpired.Error()}); err != nil {
+			s.connLost.Add(1)
+		}
+		return
+	}
+
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 
@@ -316,8 +391,16 @@ type Stats struct {
 	// (rejected before processing) and Completed (served) this
 	// partitions where every accepted request's effort went.
 	ConnLost int64
+	// Expired counts requests dropped unprocessed at dequeue because the
+	// caller's propagated deadline had already passed — work the overload
+	// control plane refused to waste (the handler is never invoked).
+	Expired  int64
 	InFlight int64
 	Queued   int
+	// LaneQueued and LaneInFlight describe the reserved lane (see
+	// ReserveLane); both zero when no lane is configured.
+	LaneQueued   int
+	LaneInFlight int64
 	// ServiceMean is the mean emulated service time in seconds.
 	ServiceMean float64
 }
@@ -327,14 +410,21 @@ func (s *Server) Stats() Stats {
 	s.statMu.Lock()
 	mean := s.service.Mean()
 	s.statMu.Unlock()
+	laneQueued := 0
+	if s.laneWork != nil {
+		laneQueued = len(s.laneWork)
+	}
 	return Stats{
-		Received:    s.received.Load(),
-		Completed:   s.completed.Load(),
-		Failed:      s.failed.Load(),
-		Shed:        s.shed.Load(),
-		ConnLost:    s.connLost.Load(),
-		InFlight:    s.inflight.Load(),
-		Queued:      len(s.work),
-		ServiceMean: mean,
+		Received:     s.received.Load(),
+		Completed:    s.completed.Load(),
+		Failed:       s.failed.Load(),
+		Shed:         s.shed.Load(),
+		ConnLost:     s.connLost.Load(),
+		Expired:      s.expired.Load(),
+		InFlight:     s.inflight.Load(),
+		Queued:       len(s.work),
+		LaneQueued:   laneQueued,
+		LaneInFlight: s.laneInflight.Load(),
+		ServiceMean:  mean,
 	}
 }

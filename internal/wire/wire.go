@@ -49,6 +49,11 @@ var (
 	// ErrConnLost reports that the connection died while calls were in
 	// flight.
 	ErrConnLost = errors.New("wire: connection lost")
+	// ErrExpired reports that the server dropped the request at dequeue
+	// because the caller's propagated deadline had already passed — the
+	// caller has (or is about to) time out, so processing would only burn
+	// a container worker on an answer nobody is waiting for.
+	ErrExpired = errors.New("wire: request expired")
 )
 
 // FailureClass partitions call errors for failover and retry logic.
@@ -70,6 +75,11 @@ const (
 	FailureClosed
 	// FailureOther is an application-level error from the handler.
 	FailureOther
+	// FailureExpired is a request the server dropped unprocessed because
+	// its propagated deadline had passed (ErrExpired). The caller's own
+	// timeout owns what happens next, so — like FailureTimeout — it is
+	// never retried.
+	FailureExpired
 )
 
 // String names the class.
@@ -87,6 +97,8 @@ func (c FailureClass) String() string {
 		return "overload"
 	case FailureClosed:
 		return "closed"
+	case FailureExpired:
+		return "expired"
 	default:
 		return "other"
 	}
@@ -107,6 +119,8 @@ func Classify(err error) FailureClass {
 		return FailureOverload
 	case errors.Is(err, ErrClosed):
 		return FailureClosed
+	case errors.Is(err, ErrExpired):
+		return FailureExpired
 	default:
 		return FailureOther
 	}
@@ -120,14 +134,25 @@ func Classify(err error) FailureClass {
 // trace — the envelope is how context crosses the emulated WAN. Both
 // are zero for untraced calls, and gob omits zero-valued fields, so an
 // untraced frame is byte-identical to one from before tracing existed.
+//
+// Deadline is the caller's absolute per-call deadline in UnixNano
+// (virtual time), stamped when ClientConfig.PropagateDeadline is set;
+// the server drops requests whose deadline has passed at dequeue
+// instead of processing them (ErrExpired). Zero means "no deadline",
+// and — like Trace/Span — the zero value is elided by gob, so frames
+// without one stay byte-identical to pre-deadline builds (asserted by
+// TestFrameDeadlineWireCompat). New fields must be appended after
+// Deadline: gob delta-encodes field indices, so inserting earlier would
+// renumber the rest and break that identity.
 type frame struct {
-	ID     uint64
-	Kind   byte // frameRequest or frameResponse
-	Method string
-	Body   []byte
-	Err    string
-	Trace  uint64
-	Span   uint64
+	ID       uint64
+	Kind     byte // frameRequest or frameResponse
+	Method   string
+	Body     []byte
+	Err      string
+	Trace    uint64
+	Span     uint64
+	Deadline int64
 }
 
 const (
