@@ -1,12 +1,24 @@
 // Command digruber-lint runs the determinism lint suite over the repo:
 // custom analyzers enforcing the simulation invariants that make the
 // paper-shape experiments replayable (virtual clocks, seeded RNG
-// streams, error returns in libraries, no RPC under a held lock).
+// streams, error returns in libraries, no blocking under a held lock,
+// deterministic map-iteration emit order) plus the gob wire-schema
+// lockfile check.
 //
-// Direct mode, from the module root:
+// Direct mode, from anywhere inside the module:
 //
 //	go run ./cmd/digruber-lint ./...
 //	go run ./cmd/digruber-lint -analyzers wallclock,nopanic ./internal/...
+//	go run ./cmd/digruber-lint internal/wire/client.go
+//	go run ./cmd/digruber-lint -json ./...
+//	go run ./cmd/digruber-lint -update-schema ./...
+//
+// Arguments may be package patterns or single .go files; a file
+// argument analyzes its enclosing package but reports only diagnostics
+// in the named file(s). -json emits one JSON object per diagnostic
+// (file, line, column, analyzer, message) per line. -update-schema
+// re-records internal/lint/wireschema.lock from the current tree
+// instead of checking against it.
 //
 // Vet-tool mode (the go vet driver invokes the binary once per package
 // with a JSON config file):
@@ -16,13 +28,15 @@
 //
 // Exit status is 0 when the tree is clean, 1 when violations are found,
 // 2 on usage or load errors. Intentional sites are annotated in the
-// source with "//lint:allow <analyzer> -- reason".
+// source with "//lint:allow <analyzer> -- reason" (the reason is
+// mandatory; a bare allow is itself a violation).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -38,7 +52,7 @@ func main() {
 	for _, arg := range os.Args[1:] {
 		switch {
 		case strings.HasPrefix(arg, "-V"):
-			fmt.Println("digruber-lint version 1")
+			fmt.Println("digruber-lint version 2")
 			return
 		case arg == "-flags":
 			fmt.Println("[]")
@@ -47,61 +61,145 @@ func main() {
 			os.Exit(runVetTool(arg))
 		}
 	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is the direct-mode entry point, factored out of main so the CLI
+// test can drive it with captured streams and inspect the exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("digruber-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list      = flag.Bool("list", false, "list analyzers and exit")
-		analyzers = flag.String("analyzers", "", "comma-separated subset to run (default: all)")
+		list         = fs.Bool("list", false, "list analyzers and exit")
+		analyzers    = fs.String("analyzers", "", "comma-separated subset to run (default: all)")
+		jsonOut      = fs.Bool("json", false, "emit diagnostics as JSON, one object per line")
+		updateSchema = fs.Bool("update-schema", false, "re-record the wire-schema lockfile instead of checking it")
 	)
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: digruber-lint [-list] [-analyzers a,b] [packages]\n\n"+
-				"Packages default to ./... relative to the enclosing module root.\n\n")
-		flag.PrintDefaults()
+	fs.Usage = func() {
+		fmt.Fprintf(stderr,
+			"usage: digruber-lint [-list] [-json] [-update-schema] [-analyzers a,b] [packages or files]\n\n"+
+				"Arguments are package patterns (./...) or single .go files and default to\n"+
+				"./... relative to the enclosing module root.\n\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 	suite, err := lint.ByName(*analyzers)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "digruber-lint:", err)
+		return 2
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "digruber-lint:", err)
+		return 2
 	}
 	root, err := lint.FindModuleRoot(cwd)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "digruber-lint:", err)
+		return 2
 	}
-	pkgs, err := lint.LoadModule(root, flag.Args())
+	pkgs, only, err := lint.LoadTargets(root, fs.Args())
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "digruber-lint:", err)
+		return 2
 	}
-	diags, err := lint.Run(pkgs, suite)
+
+	if *updateSchema {
+		path, summary, err := lint.UpdateLockfile(pkgs, root)
+		if err != nil {
+			fmt.Fprintln(stderr, "digruber-lint:", err)
+			return 2
+		}
+		if r, err := filepath.Rel(root, path); err == nil {
+			path = r
+		}
+		fmt.Fprintf(stdout, "digruber-lint: %s: %s\n", path, summary)
+		return 0
+	}
+
+	// The lockfile-staleness and whole-tree checks only make sense when
+	// the whole module is in view; a run scoped to a subset of packages
+	// or files must not report structs it cannot see as "gone".
+	wholeModule := only == nil && coversModule(fs.Args())
+	diags, err := lint.Run(pkgs, suite, lint.Options{WholeModule: wholeModule})
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "digruber-lint:", err)
+		return 2
+	}
+	if only != nil {
+		kept := diags[:0]
+		for _, d := range diags {
+			if only[d.Pos.Filename] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
 	}
 	for _, d := range diags {
-		fmt.Println(rel(root, d))
+		if *jsonOut {
+			out, err := json.Marshal(jsonDiag{
+				File:     relPath(root, d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+			if err != nil {
+				fmt.Fprintln(stderr, "digruber-lint:", err)
+				return 2
+			}
+			fmt.Fprintln(stdout, string(out))
+		} else {
+			d.Pos.Filename = relPath(root, d.Pos.Filename)
+			fmt.Fprintln(stdout, d.String())
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "digruber-lint: %d violation(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "digruber-lint: %d violation(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }
 
-// rel shortens the diagnostic's path relative to root for readability.
-func rel(root string, d lint.Diagnostic) string {
-	if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-		d.Pos.Filename = r
+// coversModule reports whether the argument list asks for the whole
+// module (no arguments, or a bare ./... pattern).
+func coversModule(args []string) bool {
+	if len(args) == 0 {
+		return true
 	}
-	return d.String()
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			return true
+		}
+	}
+	return false
+}
+
+// jsonDiag is the -json output shape, one object per line.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// relPath shortens a diagnostic path relative to root for readability.
+func relPath(root, name string) string {
+	if r, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(r, "..") {
+		return r
+	}
+	return name
 }
 
 // vetConfig is the subset of the go vet driver's per-package JSON config
@@ -118,7 +216,8 @@ type vetConfig struct {
 // runVetTool analyzes one package as directed by the vet driver. The
 // driver expects the facts file named by VetxOutput to exist afterwards
 // (this suite exports no facts, so it is written empty), diagnostics on
-// stderr, and a non-zero exit when violations are found.
+// stderr, and a non-zero exit when violations are found. Vet mode is
+// per-package, so module-wide checks (lockfile staleness) stay off.
 func runVetTool(cfgPath string) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -144,7 +243,7 @@ func runVetTool(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "digruber-lint:", err)
 		return 2
 	}
-	diags, err := lint.Run([]*lint.Package{pkg}, lint.All())
+	diags, err := lint.Run([]*lint.Package{pkg}, lint.All(), lint.Options{WholeModule: false})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "digruber-lint:", err)
 		return 2
@@ -156,9 +255,4 @@ func runVetTool(cfgPath string) int {
 		return 1
 	}
 	return 0
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "digruber-lint:", err)
-	os.Exit(2)
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"digruber/internal/trace"
@@ -66,8 +67,13 @@ func main() {
 		for _, t := range all {
 			seen[t.Root.Name]++
 		}
-		for name, n := range seen {
-			fmt.Fprintf(os.Stderr, "  %-20s %d\n", name, n)
+		names := make([]string, 0, len(seen))
+		for name := range seen {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "  %-20s %d\n", name, seen[name])
 		}
 		os.Exit(1)
 	}
@@ -116,6 +122,7 @@ func main() {
 			excl, _ := t.Exclusive()
 			var worstName string
 			var worst time.Duration
+			//lint:allow mapiter -- max with lexicographic tie-break; result is order-independent
 			for name, d := range excl {
 				if d > worst || (d == worst && name < worstName) {
 					worst, worstName = d, name

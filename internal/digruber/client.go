@@ -584,6 +584,7 @@ func (c *Client) Close() {
 	c.closed = true
 	rpc := c.rpc
 	stops := make([]chan struct{}, 0, len(c.retiring))
+	//lint:allow mapiter -- teardown: every stop channel is closed; close order is immaterial
 	for _, stop := range c.retiring {
 		stops = append(stops, stop)
 	}

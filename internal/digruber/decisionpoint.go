@@ -355,6 +355,7 @@ func (dp *DecisionPoint) Status() StatusReply {
 	dp.mu.Lock()
 	server := dp.server
 	peers := make([]PeerHealth, 0, len(dp.peers))
+	//lint:allow mapiter -- collected slice is sorted by name right below; state.String is a pure label
 	for _, l := range dp.peers {
 		peers = append(peers, PeerHealth{
 			Name:             l.name,
@@ -429,7 +430,20 @@ func (dp *DecisionPoint) Peers() []string {
 	for name := range dp.peers {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
+}
+
+// peerNamesLocked returns the registered peer names in sorted order, so
+// loops over the peer set visit links deterministically. Callers hold
+// dp.mu.
+func (dp *DecisionPoint) peerNamesLocked() []string {
+	names := make([]string, 0, len(dp.peers))
+	for name := range dp.peers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Start begins listening and, unless the strategy is NoExchange, starts
@@ -446,8 +460,8 @@ func (dp *DecisionPoint) Start() error {
 		dp.server = dp.newServer()
 		dp.registerHandlers()
 	}
-	for _, link := range dp.peers {
-		if link.client == nil {
+	for _, name := range dp.peerNamesLocked() {
+		if link := dp.peers[name]; link.client == nil {
 			link.client = dp.newPeerClient(link.node, link.addr)
 		}
 	}
@@ -489,7 +503,8 @@ func (dp *DecisionPoint) ExchangeNow() int {
 	now := dp.cfg.Clock.Now()
 	dp.mu.Lock()
 	links := make([]*peerLink, 0, len(dp.peers))
-	for _, l := range dp.peers {
+	for _, name := range dp.peerNamesLocked() {
+		l := dp.peers[name]
 		if l.client == nil {
 			continue // stopped
 		}
@@ -564,6 +579,7 @@ func (dp *DecisionPoint) ExchangeNow() int {
 	// needed again. With no peers at all, nobody will ever ask, so the
 	// whole log can go.
 	oldest := ^uint64(0)
+	//lint:allow mapiter -- min over values; the result is order-independent
 	for _, l := range dp.peers {
 		if l.lastSent < oldest {
 			oldest = l.lastSent
@@ -603,6 +619,7 @@ func (dp *DecisionPoint) Stop() {
 	dp.listener = nil
 	serveDone := dp.serveDone
 	clients := make([]*wire.Client, 0, len(dp.peers))
+	//lint:allow mapiter -- teardown: every client is closed; close order is immaterial
 	for _, p := range dp.peers {
 		if p.client != nil {
 			clients = append(clients, p.client)
@@ -632,6 +649,7 @@ func (dp *DecisionPoint) Crash() {
 	dp.Stop()
 	dp.engine.DropDynamicState()
 	dp.mu.Lock()
+	//lint:allow mapiter -- per-peer state reset with no cross-peer reads; order cannot matter
 	for _, l := range dp.peers {
 		l.lastSent = 0
 		l.markAliveLocked()

@@ -96,13 +96,17 @@ func (o *Overseer) Poll() []StatusReply {
 	}
 	o.mu.Unlock()
 
+	names := make([]string, 0, len(sources))
+	for name := range sources {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	replies := make([]StatusReply, 0, len(sources))
-	for name, fn := range sources {
-		st := fn()
+	for _, name := range names {
+		st := sources[name]()
 		st.Name = name
 		replies = append(replies, st)
 	}
-	sort.Slice(replies, func(i, j int) bool { return replies[i].Name < replies[j].Name })
 
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -145,9 +149,18 @@ func (o *Overseer) Recommend() Recommendation {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	rec := Recommendation{Current: len(o.points)}
+	names := make([]string, 0, len(o.last))
+	for name := range o.last {
+		names = append(names, name)
+	}
+	// Sorted iteration keeps the float sums deterministic: FP addition
+	// does not commute under rounding, so map order would leak into the
+	// recommendation.
+	sort.Strings(names)
 	var totalObserved, totalCapacity float64
 	n := 0
-	for name, st := range o.last {
+	for _, name := range names {
+		st := o.last[name]
 		totalObserved += st.ObservedRate
 		totalCapacity += st.CapacityRate
 		if st.Saturated {
@@ -155,7 +168,6 @@ func (o *Overseer) Recommend() Recommendation {
 		}
 		n++
 	}
-	sort.Strings(rec.Saturated)
 	rec.Needed = rec.Current
 	if n == 0 || totalCapacity == 0 {
 		return rec

@@ -53,7 +53,10 @@ func (d *DAG) Len() int { return len(d.order) }
 func (d *DAG) validate() ([]string, error) {
 	indeg := make(map[string]int, len(d.nodes))
 	children := make(map[string][]string, len(d.nodes))
-	for id, n := range d.nodes {
+	// Walk insertion order, not the map: the first invalid parent
+	// reference reported must not depend on map iteration order.
+	for _, id := range d.order {
+		n := d.nodes[id]
 		if _, ok := indeg[id]; !ok {
 			indeg[id] = 0
 		}
@@ -107,7 +110,10 @@ func (p *Planner) RunDAG(d *DAG, parallelism int) (map[string]Result, error) {
 	failed := make(map[string]bool)
 	remainingParents := make(map[string]int, len(topo))
 	children := make(map[string][]string)
-	for id, n := range d.nodes {
+	// Insertion order, not map order: children lists feed the ready
+	// queue, so their order must be reproducible.
+	for _, id := range d.order {
+		n := d.nodes[id]
 		remainingParents[id] = len(n.Parents)
 		for _, parent := range n.Parents {
 			children[parent] = append(children[parent], id)

@@ -103,6 +103,7 @@ func runTraceBreakdown(scale Scale) (Report, error) {
 		excl, _ := t.Exclusive()
 		var worstName string
 		var worst time.Duration
+		//lint:allow mapiter -- max with lexicographic tie-break; result is order-independent
 		for name, d := range excl {
 			if d > worst || (d == worst && name < worstName) {
 				worst, worstName = d, name

@@ -70,7 +70,8 @@ func (g *Grid) TotalCPUs() int {
 // the paper's per-job scheduling accuracy.
 func (g *Grid) FreeCPUs() int {
 	free := 0
-	for _, s := range g.sites {
+	for _, name := range g.order {
+		s := g.sites[name]
 		s.mu.Lock()
 		free += s.free
 		s.mu.Unlock()
@@ -101,8 +102,8 @@ func (g *Grid) Snapshot() []Status {
 
 // SetOutcomeHandler installs one handler on every site.
 func (g *Grid) SetOutcomeHandler(f func(Outcome)) {
-	for _, s := range g.sites {
-		s.SetOutcomeHandler(f)
+	for _, name := range g.order {
+		g.sites[name].SetOutcomeHandler(f)
 	}
 }
 
@@ -120,16 +121,16 @@ func Utilization(consumed time.Duration, totalCPUs int, elapsed time.Duration) f
 // Shutdown closes every site (see Site.Close). Call at the end of an
 // emulation so no timers or queued work outlive it.
 func (g *Grid) Shutdown() {
-	for _, s := range g.sites {
-		s.Close()
+	for _, name := range g.order {
+		g.sites[name].Close()
 	}
 }
 
 // ConsumedCPU sums delivered CPU-time across all sites.
 func (g *Grid) ConsumedCPU() time.Duration {
 	var total time.Duration
-	for _, s := range g.sites {
-		total += s.Accounting().ConsumedCPU
+	for _, name := range g.order {
+		total += g.sites[name].Accounting().ConsumedCPU
 	}
 	return total
 }
@@ -137,8 +138,8 @@ func (g *Grid) ConsumedCPU() time.Duration {
 // CompletedJobs sums completed jobs across all sites.
 func (g *Grid) CompletedJobs() int {
 	n := 0
-	for _, s := range g.sites {
-		n += s.Accounting().CompletedJobs
+	for _, name := range g.order {
+		n += g.sites[name].Accounting().CompletedJobs
 	}
 	return n
 }

@@ -90,10 +90,18 @@ func (s *Site) shadowLocked(cpus int, now time.Time) (shadow time.Time, extra in
 		cpus int
 	}
 	releases := make([]release, 0, len(s.running))
+	//lint:allow mapiter -- collected releases are sorted by (time, cpus) right below; equal entries are interchangeable
 	for _, qj := range s.running {
 		releases = append(releases, release{at: qj.started.Add(qj.job.Runtime), cpus: qj.job.CPUs})
 	}
-	sort.Slice(releases, func(i, j int) bool { return releases[i].at.Before(releases[j].at) })
+	// Tie-break equal release instants on cpus so the shadow/extra result
+	// never depends on map iteration order.
+	sort.Slice(releases, func(i, j int) bool {
+		if !releases[i].at.Equal(releases[j].at) {
+			return releases[i].at.Before(releases[j].at)
+		}
+		return releases[i].cpus < releases[j].cpus
+	})
 	avail := s.free
 	for _, r := range releases {
 		avail += r.cpus

@@ -3,6 +3,7 @@ package grid
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -224,6 +225,7 @@ func (s *Site) Close() {
 	now := s.clock.Now()
 	s.mu.Unlock()
 
+	//lint:allow mapiter -- teardown: every timer is stopped; stop order is immaterial
 	for _, qj := range running {
 		if qj.timer != nil {
 			qj.timer.Stop()
@@ -245,6 +247,7 @@ func mapValues(m map[JobID]*queuedJob) []*queuedJob {
 	for _, qj := range m {
 		out = append(out, qj)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].job.ID < out[j].job.ID })
 	return out
 }
 
@@ -350,6 +353,7 @@ func (s *Site) Snapshot() Status {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	usage := make(map[string]int, len(s.usage))
+	//lint:allow mapiter -- rekey by Path.String, which is injective; writes cannot collide
 	for p, n := range s.usage {
 		usage[p.String()] = n
 	}
@@ -365,6 +369,7 @@ func (s *Site) Snapshot() Status {
 		st.StorageTotal = s.storageTotal
 		st.StorageFree = s.storageTotal - s.storageUsed
 		st.StorageByPath = make(map[string]int64, len(s.storageByPath))
+		//lint:allow mapiter -- rekey by Path.String, which is injective; writes cannot collide
 		for p, n := range s.storageByPath {
 			st.StorageByPath[p.String()] = n
 		}

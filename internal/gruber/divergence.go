@@ -44,6 +44,7 @@ func (e *Engine) MaxViewAge(now time.Time) time.Duration {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	var max time.Duration
+	//lint:allow mapiter -- max over values; the result is order-independent
 	for _, sv := range e.sites {
 		if age := now.Sub(sv.baseAt); age > max {
 			max = age
@@ -62,6 +63,7 @@ func (e *Engine) MeanViewAge(now time.Time) time.Duration {
 		return 0
 	}
 	var sum time.Duration
+	//lint:allow mapiter -- integer-duration sum; addition commutes exactly
 	for _, sv := range e.sites {
 		sum += now.Sub(sv.baseAt)
 	}

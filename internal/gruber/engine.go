@@ -335,6 +335,7 @@ func (e *Engine) markSeenLocked(d Dispatch) bool {
 	}
 	if len(e.seen) > 100000 {
 		now := e.clock.Now()
+		//lint:allow mapiter -- expiry sweep deletes a fixed set of keys; order cannot matter
 		for id, exp := range e.seen {
 			if now.After(exp) {
 				delete(e.seen, id)

@@ -11,16 +11,24 @@
 //     (analyzer "globalrand"),
 //   - library packages return errors instead of panicking
 //     (analyzer "nopanic"),
-//   - no mutex is held across an RPC into the wire/netsim layer, the
-//     classic broker-deadlock shape in the state-exchange mesh
-//     (analyzer "lockedrpc").
+//   - no RPC, channel send, virtual sleep or condition wait happens
+//     while a mutex is held — the deadlock shapes -race cannot see
+//     (analyzer "lockheld"),
+//   - nothing on an emit path iterates a map unsorted
+//     (analyzer "mapiter"),
+//   - gob protocol structs evolve append-only against a committed
+//     wire-schema lockfile (analyzer "wireschema").
 //
 // This package encodes those conventions as analyzers in the style of
 // golang.org/x/tools/go/analysis, implemented on the standard library
-// only (go/ast + go/parser; no network deps). The analyzers are
-// syntactic: they resolve package identifiers through each file's import
-// table rather than full type information, which is exact for the
-// qualified-call patterns they police.
+// only. The driver runs two kinds of pass: syntactic ones (go/ast; they
+// resolve package identifiers through each file's import table, which
+// is exact for the qualified-call patterns they police) and semantic
+// ones that demand full type information (NeedsTypes), supplied by a
+// TypeLoader that type-checks the module and — via go/importer's source
+// importer — its standard-library dependencies. Analyzers may also run
+// once over the whole loaded module (RunModule) for invariants that no
+// single package can see, like wire-schema lockfile staleness.
 //
 // Intentional violations are suppressed with an annotation on the
 // offending line or the line directly above it:
@@ -28,14 +36,17 @@
 //	//lint:allow wallclock -- real-time watchdog, not simulated time
 //
 // Multiple analyzer names may be given, comma-separated; everything
-// after " -- " is a free-form justification (required by convention,
-// not by the checker).
+// after " -- " is a free-form justification. The justification is
+// mandatory: a bare //lint:allow with no " -- reason" still suppresses,
+// but is itself reported as a violation (analyzer "allow"), so every
+// exemption in the tree says why it exists.
 package lint
 
 import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"path"
 	"sort"
 	"strconv"
@@ -54,8 +65,16 @@ type Analyzer struct {
 	// latitude where noted in each analyzer's Doc (e.g. real-time
 	// watchdog deadlines bounding how long a test may hang).
 	SkipTests bool
+	// NeedsTypes asks the driver to type-check each package (filling
+	// Package.Types/TypesInfo through its TypeLoader) before Run.
+	NeedsTypes bool
 	// Run inspects pass.Files and reports violations via pass.Reportf.
+	// It may be nil for module-level-only analyzers.
 	Run func(pass *Pass) error
+	// RunModule, if non-nil, runs once over all loaded packages after
+	// the per-package passes — the hook for whole-module invariants
+	// (e.g. wireschema's lockfile completeness).
+	RunModule func(pass *ModulePass) error
 }
 
 // File is one parsed source file of a package.
@@ -66,6 +85,11 @@ type File struct {
 	AST *ast.File
 	// Test marks _test.go files.
 	Test bool
+	// NoTypes marks files excluded from type checking by build
+	// constraints (e.g. //go:build race in a raceless run); typed
+	// analyzers have no information for them and skip what they cannot
+	// resolve.
+	NoTypes bool
 }
 
 // Package is the unit an analyzer runs over.
@@ -77,10 +101,23 @@ type Package struct {
 	ImportPath string
 	// Dir is the package directory on disk.
 	Dir string
-	// Fset positions all Files.
+	// Root is the module root directory ("" when unknown); module-level
+	// analyzers use it to locate committed artifacts like the
+	// wire-schema lockfile.
+	Root string
+	// Fset positions all Files. Packages loaded through one TypeLoader
+	// share its FileSet.
 	Fset *token.FileSet
 	// Files holds every .go file in the directory, tests included.
 	Files []*File
+	// Loader type-checks this package and resolves its imports.
+	Loader *TypeLoader
+	// Types is the type-checked base package, filled by Loader.Check
+	// when an analyzer declares NeedsTypes (nil for xtest-only dirs).
+	Types *types.Package
+	// TypesInfo records type information for every build-matching file,
+	// test units included.
+	TypesInfo *types.Info
 }
 
 // Diagnostic is one reported violation.
@@ -125,9 +162,42 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	})
 }
 
+// ModulePass carries one analyzer's whole-module run.
+type ModulePass struct {
+	Analyzer *Analyzer
+	// Pkgs are all loaded packages, in load order.
+	Pkgs []*Package
+	// WholeModule asserts Pkgs is the complete module, enabling checks
+	// that would false-positive on a partial view (lockfile staleness).
+	WholeModule bool
+	diags       []Diagnostic
+}
+
+// Reportf records a violation at a resolved position — module passes
+// report against files of any package (all share one FileSet) or
+// against non-Go artifacts like the lockfile, so they position
+// diagnostics themselves.
+func (p *ModulePass) Reportf(pos token.Position, format string, args ...interface{}) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Fset returns the FileSet shared by the loaded packages.
+func (p *ModulePass) Fset() *token.FileSet {
+	for _, pkg := range p.Pkgs {
+		if pkg.Fset != nil {
+			return pkg.Fset
+		}
+	}
+	return token.NewFileSet()
+}
+
 // All returns the full determinism suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{Wallclock, GlobalRand, NoPanic, LockedRPC}
+	return []*Analyzer{Wallclock, GlobalRand, NoPanic, LockHeld, MapIter, WireSchema}
 }
 
 // ByName resolves a comma-separated analyzer list ("" means all).
@@ -153,26 +223,76 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// Run applies the analyzers to every package, drops diagnostics covered
-// by //lint:allow annotations, and returns the remainder in file/line
+// Options configures a Run.
+type Options struct {
+	// WholeModule marks the package list as the module's complete
+	// package set (the "./..." load), enabling whole-module checks like
+	// wire-schema lockfile staleness that would false-positive on a
+	// partial view (single package under go vet, single-file CLI runs).
+	WholeModule bool
+}
+
+// Run applies the analyzers to every package — type-checking packages
+// first when any analyzer needs types — drops diagnostics covered by
+// //lint:allow annotations, reports bare annotations missing their
+// "-- reason" justification, and returns the remainder in file/line
 // order.
-func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+func Run(pkgs []*Package, analyzers []*Analyzer, opts Options) ([]Diagnostic, error) {
+	needTypes := false
+	for _, a := range analyzers {
+		if a.NeedsTypes {
+			needTypes = true
+		}
+	}
+	if needTypes {
+		for _, pkg := range pkgs {
+			if pkg.TypesInfo != nil {
+				continue
+			}
+			if pkg.Loader == nil {
+				return nil, fmt.Errorf("lint: package %s has no TypeLoader but a selected analyzer needs types", pkg.ImportPath)
+			}
+			if err := pkg.Loader.Check(pkg); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	var out []Diagnostic
+	allows := allowSet{}
 	for _, pkg := range pkgs {
-		allows := collectAllows(pkg)
+		bare := collectAllows(pkg, allows)
+		out = append(out, bare...)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{Analyzer: a, Pkg: pkg}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.ImportPath, err)
 			}
-			for _, d := range pass.diags {
-				if allows.covers(a.Name, d.Pos) {
-					continue
-				}
-				out = append(out, d)
-			}
+			out = append(out, pass.diags...)
 		}
 	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, Pkgs: pkgs, WholeModule: opts.WholeModule}
+		if err := a.RunModule(mp); err != nil {
+			return nil, fmt.Errorf("lint: %s (module): %w", a.Name, err)
+		}
+		out = append(out, mp.diags...)
+	}
+
+	kept := out[:0]
+	for _, d := range out {
+		if d.Analyzer != allowAnalyzer && allows.covers(d.Analyzer, d.Pos) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	out = kept
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -184,62 +304,91 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out, nil
+	// Module passes of overlapping closures can report one drift twice;
+	// identical diagnostics collapse.
+	dedup := out[:0]
+	for i, d := range out {
+		if i > 0 && d == out[i-1] {
+			continue
+		}
+		dedup = append(dedup, d)
+	}
+	return dedup, nil
 }
+
+// allowAnalyzer names the pseudo-analyzer reporting malformed
+// //lint:allow annotations; it is not part of All() and cannot itself
+// be suppressed.
+const allowAnalyzer = "allow"
 
 // allowSet records which analyzers are allowed on which line of which
 // file. An annotation covers its own line (end-of-line comment) and the
 // line directly below it (comment above the offending statement).
 type allowSet map[string]map[int]map[string]bool // file → line → analyzer
 
-func collectAllows(pkg *Package) allowSet {
-	set := allowSet{}
+// collectAllows records pkg's annotations into set and returns one
+// diagnostic per bare annotation missing its "-- reason" justification.
+func collectAllows(pkg *Package, set allowSet) []Diagnostic {
+	var bare []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.AST.Comments {
 			for _, c := range cg.List {
-				names, ok := parseAllow(c.Text)
+				names, justified, ok := parseAllow(c.Text)
 				if !ok {
 					continue
 				}
-				line := pkg.Fset.Position(c.Pos()).Line
-				file := pkg.Fset.Position(c.Pos()).Filename
-				if set[file] == nil {
-					set[file] = map[int]map[string]bool{}
+				pos := pkg.Fset.Position(c.Pos())
+				if !justified {
+					bare = append(bare, Diagnostic{
+						Pos: pos,
+						Message: fmt.Sprintf(
+							"//lint:allow %s is missing its justification; write \"//lint:allow %s -- reason\"",
+							strings.Join(names, ","), strings.Join(names, ",")),
+						Analyzer: allowAnalyzer,
+					})
 				}
-				if set[file][line] == nil {
-					set[file][line] = map[string]bool{}
+				if set[pos.Filename] == nil {
+					set[pos.Filename] = map[int]map[string]bool{}
+				}
+				if set[pos.Filename][pos.Line] == nil {
+					set[pos.Filename][pos.Line] = map[string]bool{}
 				}
 				for _, n := range names {
-					set[file][line][n] = true
+					set[pos.Filename][pos.Line][n] = true
 				}
 			}
 		}
 	}
-	return set
+	return bare
 }
 
-// parseAllow recognises "//lint:allow name[,name...] [-- reason]".
-func parseAllow(comment string) ([]string, bool) {
+// parseAllow recognises "//lint:allow name[,name...] -- reason". The
+// justified result reports whether the " -- reason" part is present and
+// non-empty.
+func parseAllow(comment string) (names []string, justified, ok bool) {
 	const prefix = "//lint:allow"
 	if !strings.HasPrefix(comment, prefix) {
-		return nil, false
+		return nil, false, false
 	}
 	rest := strings.TrimSpace(strings.TrimPrefix(comment, prefix))
 	if i := strings.Index(rest, "--"); i >= 0 {
+		justified = strings.TrimSpace(rest[i+len("--"):]) != ""
 		rest = strings.TrimSpace(rest[:i])
 	}
 	if rest == "" {
-		return nil, false
+		return nil, false, false
 	}
-	var names []string
 	for _, n := range strings.Split(rest, ",") {
 		if n = strings.TrimSpace(n); n != "" {
 			names = append(names, n)
 		}
 	}
-	return names, len(names) > 0
+	return names, justified, len(names) > 0
 }
 
 func (s allowSet) covers(analyzer string, pos token.Position) bool {

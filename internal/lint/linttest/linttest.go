@@ -40,7 +40,7 @@ func Run(t *testing.T, srcRoot string, a *lint.Analyzer, pkgPaths ...string) {
 		if err != nil {
 			t.Fatalf("%s: %v", pkgPath, err)
 		}
-		diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+		diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a}, lint.Options{WholeModule: false})
 		if err != nil {
 			t.Fatalf("%s: %v", pkgPath, err)
 		}
@@ -53,8 +53,12 @@ func load(srcRoot, pkgPath string) (*lint.Package, error) {
 	if i := strings.IndexByte(module, '/'); i >= 0 {
 		module = module[:i]
 	}
+	// The fixture tree root (testdata/src) acts as a GOPATH-style source
+	// root: the loader resolves in-module imports like
+	// "digruber/internal/wire" below it.
+	loader := lint.NewTypeLoader(module, filepath.Join(srcRoot, module))
 	dir := filepath.Join(srcRoot, filepath.FromSlash(pkgPath))
-	pkg, err := lint.LoadDir(module, pkgPath, dir)
+	pkg, err := lint.LoadDir(loader, pkgPath, dir)
 	if err != nil {
 		return nil, err
 	}

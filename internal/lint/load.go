@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"go/parser"
-	"go/token"
 	"os"
 	"path/filepath"
 	"sort"
@@ -16,9 +15,11 @@ import (
 // "./cmd/..."). It is a deliberately small stand-in for
 // golang.org/x/tools/go/packages: every directory containing .go files
 // becomes one Package (internal and external test files are folded into
-// the same Package, which is what the syntactic analyzers want).
-// Directories named testdata or vendor, and hidden or underscore
-// directories, are skipped, matching the go tool's convention.
+// the same Package, which is what the analyzers want). Directories named
+// testdata or vendor, and hidden or underscore directories, are skipped,
+// matching the go tool's convention. All returned packages share one
+// TypeLoader (and its FileSet), so semantic analyzers can be run over
+// them.
 func LoadModule(root string, patterns []string) ([]*Package, error) {
 	module, err := modulePath(filepath.Join(root, "go.mod"))
 	if err != nil {
@@ -33,6 +34,56 @@ func LoadModule(root string, patterns []string) ([]*Package, error) {
 			return nil, err
 		}
 	}
+	loader := NewTypeLoader(module, root)
+	return loadDirs(loader, dirs)
+}
+
+// LoadTargets resolves a mix of package patterns and single .go file
+// arguments — the two argument shapes the CLI accepts. A file argument
+// loads its enclosing directory as a package; the returned "only" set
+// (absolute file paths, nil when no file arguments were given) is the
+// filter callers apply to restrict diagnostics to the named files.
+func LoadTargets(root string, args []string) (pkgs []*Package, only map[string]bool, err error) {
+	module, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	dirs := map[string]bool{}
+	for _, arg := range args {
+		if strings.HasSuffix(arg, ".go") {
+			abs, err := filepath.Abs(arg)
+			if err != nil {
+				return nil, nil, err
+			}
+			info, err := os.Stat(abs)
+			if err != nil {
+				return nil, nil, fmt.Errorf("lint: %w", err)
+			}
+			if info.IsDir() {
+				return nil, nil, fmt.Errorf("lint: %s is a directory, not a Go file", arg)
+			}
+			if only == nil {
+				only = map[string]bool{}
+			}
+			only[abs] = true
+			dirs[filepath.Dir(abs)] = true
+			continue
+		}
+		if err := expandPattern(root, arg, dirs); err != nil {
+			return nil, nil, err
+		}
+	}
+	loader := NewTypeLoader(module, root)
+	pkgs, err = loadDirs(loader, dirs)
+	return pkgs, only, err
+}
+
+// loadDirs parses each directory into a Package through one shared
+// loader, in sorted order.
+func loadDirs(loader *TypeLoader, dirs map[string]bool) ([]*Package, error) {
 	sorted := make([]string, 0, len(dirs))
 	for d := range dirs {
 		sorted = append(sorted, d)
@@ -41,7 +92,15 @@ func LoadModule(root string, patterns []string) ([]*Package, error) {
 
 	var pkgs []*Package
 	for _, dir := range sorted {
-		pkg, err := loadDir(module, root, dir)
+		rel, err := filepath.Rel(loader.Root, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("lint: directory %s is outside module root %s", dir, loader.Root)
+		}
+		importPath := loader.Module
+		if rel != "." {
+			importPath = loader.Module + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := LoadDir(loader, importPath, dir)
 		if err != nil {
 			return nil, err
 		}
@@ -67,7 +126,7 @@ func expandPattern(root, pat string, dirs map[string]bool) error {
 		return fmt.Errorf("lint: pattern %q: %w", pat, err)
 	}
 	if !info.IsDir() {
-		return fmt.Errorf("lint: pattern %q is not a directory", pat)
+		return fmt.Errorf("lint: pattern %q is not a directory (single files may be passed as path/to/file.go)", pat)
 	}
 	if !recursive {
 		dirs[base] = true
@@ -90,25 +149,11 @@ func expandPattern(root, pat string, dirs map[string]bool) error {
 	})
 }
 
-// loadDir parses one package directory of a module tree; it returns
-// (nil, nil) when the directory holds no .go files.
-func loadDir(module, root, dir string) (*Package, error) {
-	rel, err := filepath.Rel(root, dir)
-	if err != nil {
-		return nil, err
-	}
-	importPath := module
-	if rel != "." {
-		importPath = module + "/" + filepath.ToSlash(rel)
-	}
-	return LoadDir(module, importPath, dir)
-}
-
-// LoadDir parses every .go file in dir into a Package with the given
-// module and import path; it returns (nil, nil) when the directory
-// holds no .go files. Fixture trees (linttest) use it directly with
-// synthetic import paths.
-func LoadDir(module, importPath, dir string) (*Package, error) {
+// LoadDir parses every .go file in dir into a Package attached to
+// loader, with the given import path; it returns (nil, nil) when the
+// directory holds no .go files. Fixture trees (linttest) use it directly
+// with synthetic import paths.
+func LoadDir(loader *TypeLoader, importPath, dir string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -125,10 +170,12 @@ func LoadDir(module, importPath, dir string) (*Package, error) {
 	sort.Strings(names)
 
 	pkg := &Package{
-		Module:     module,
+		Module:     loader.Module,
 		ImportPath: importPath,
 		Dir:        dir,
-		Fset:       token.NewFileSet(),
+		Root:       loader.Root,
+		Fset:       loader.Fset,
+		Loader:     loader,
 	}
 	for _, name := range names {
 		full := filepath.Join(dir, name)
@@ -155,16 +202,21 @@ func LoadVetPackage(dir, importPath string, goFiles []string) (*Package, error) 
 	if i := strings.IndexByte(module, '/'); i >= 0 {
 		module = module[:i]
 	}
-	if root, err := FindModuleRoot(dir); err == nil {
-		if m, err := modulePath(filepath.Join(root, "go.mod")); err == nil {
+	root := dir
+	if r, err := FindModuleRoot(dir); err == nil {
+		root = r
+		if m, err := modulePath(filepath.Join(r, "go.mod")); err == nil {
 			module = m
 		}
 	}
+	loader := NewTypeLoader(module, root)
 	pkg := &Package{
 		Module:     module,
 		ImportPath: importPath,
 		Dir:        dir,
-		Fset:       token.NewFileSet(),
+		Root:       root,
+		Fset:       loader.Fset,
+		Loader:     loader,
 	}
 	for _, name := range goFiles {
 		f, err := parser.ParseFile(pkg.Fset, name, nil, parser.ParseComments)

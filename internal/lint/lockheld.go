@@ -1,0 +1,377 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockHeld flags blocking operations performed while a mutex is held —
+// the deadlock shapes -race cannot see, because they are liveness bugs,
+// not data races. It grew out of the original lockedrpc pass and now
+// polices four operations under any held lock:
+//
+//   - RPCs into internal/wire (wire.Call and .Call methods): the classic
+//     broker-deadlock shape in the state-exchange mesh — decision point A
+//     holds its state lock while calling peer B, whose handler needs its
+//     own lock while calling back into A. Emulated WAN latency makes the
+//     window enormous (hundreds of virtual milliseconds).
+//   - Channel sends: a full or unbuffered channel parks the goroutine
+//     with the lock held; if the draining goroutine needs that lock, the
+//     system wedges. Sends inside a select that has a default clause are
+//     non-blocking and exempt.
+//   - Sleeps (vtime Clock.Sleep and time.Sleep, resolved through type
+//     information): under a Manual clock a sleeping goroutine only wakes
+//     when the driver advances virtual time, so a sleep under a lock
+//     serializes the whole fleet on one mutex — or deadlocks it if the
+//     advancing goroutine wants the lock.
+//   - sync.Cond.Wait: Wait releases only the Cond's own locker. Waiting
+//     while holding a second mutex deadlocks; waiting on the Cond's own
+//     locker is the one legitimate shape and gets an annotation.
+//
+// The analysis is a per-function, flow-insensitive-but-ordered walk:
+// x.Lock()/x.RLock() marks x held, x.Unlock()/x.RUnlock() releases it,
+// and "defer x.Unlock()" keeps x held to the end of the function.
+// Goroutine bodies start with no inherited locks (the spawner's locks do
+// not transfer); other function literals inherit the current set, which
+// covers immediately-invoked and synchronous-callback patterns.
+// Branches operate on a copy of the held set, so a lock taken inside an
+// if-arm does not leak past it. The sleep and cond-wait checks need
+// type information; in files excluded from type checking by build
+// constraints only the syntactic RPC and send checks run. False
+// positives on genuinely safe shapes get a
+// "//lint:allow lockheld -- reason" annotation.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc: "forbid blocking while a mutex is held: RPCs into internal/wire, " +
+		"channel sends, Clock.Sleep/time.Sleep and sync.Cond.Wait; " +
+		"copy state under the lock, release, then block",
+	SkipTests:  false,
+	NeedsTypes: true,
+	Run:        runLockHeld,
+}
+
+func runLockHeld(pass *Pass) error {
+	// The vtime package is the clock implementation itself: a Manual
+	// clock legitimately parks waiters under its own mutex — that is
+	// what "advancing virtual time" means.
+	if pass.Pkg.ImportPath == pass.Pkg.Module+"/internal/vtime" {
+		return nil
+	}
+	for _, f := range pass.Files() {
+		w := &lockWalker{
+			pass: pass,
+			wire: importedAs(f.AST, pass.Pkg.Module+"/internal/wire"),
+			info: pass.Pkg.TypesInfo,
+		}
+		for _, decl := range f.AST.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w.block(fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+type lockWalker struct {
+	pass *Pass
+	wire string // local import name of internal/wire, "" if not imported
+	info *types.Info
+}
+
+func (w *lockWalker) block(stmts []ast.Stmt, held map[string]bool) {
+	for _, s := range stmts {
+		w.stmt(s, held)
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case nil:
+		return
+	case *ast.ExprStmt:
+		if recv, op, ok := lockOp(s.X); ok {
+			switch op {
+			case opLock:
+				held[recv] = true
+			case opUnlock:
+				delete(held, recv)
+			}
+			return
+		}
+		w.expr(s.X, held)
+	case *ast.DeferStmt:
+		// "defer x.Unlock()" pins x held to function end — exactly the
+		// window the analyzer polices — so the held set is unchanged.
+		if _, op, ok := lockOp(s.Call); ok && op == opUnlock {
+			return
+		}
+		w.expr(s.Call, held)
+	case *ast.GoStmt:
+		// The goroutine does not inherit the spawner's locks; its
+		// arguments are still evaluated here.
+		for _, arg := range s.Call.Args {
+			w.expr(arg, held)
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.block(fl.Body.List, map[string]bool{})
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.send(s, held)
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.BlockStmt:
+		w.block(s.List, held)
+	case *ast.IfStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		w.block(s.Body.List, copyHeld(held))
+		w.stmt(s.Else, copyHeld(held))
+	case *ast.ForStmt:
+		w.stmt(s.Init, held)
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		inner := copyHeld(held)
+		w.block(s.Body.List, inner)
+		w.stmt(s.Post, inner)
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.block(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held)
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.block(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held)
+		w.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.block(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		// A select with a default clause never blocks: its comm sends
+		// are attempts, not parks, so they are exempt from the
+		// send-under-lock rule. Clause bodies are still walked.
+		nonblocking := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				nonblocking = true
+			}
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := copyHeld(held)
+				if send, ok := cc.Comm.(*ast.SendStmt); ok && nonblocking {
+					w.expr(send.Chan, inner)
+					w.expr(send.Value, inner)
+				} else {
+					w.stmt(cc.Comm, inner)
+				}
+				w.block(cc.Body, inner)
+			}
+		}
+	}
+}
+
+// send reports a channel send performed while locks are held.
+func (w *lockWalker) send(s *ast.SendStmt, held map[string]bool) {
+	w.expr(s.Chan, held)
+	w.expr(s.Value, held)
+	if len(held) > 0 {
+		w.pass.Reportf(s.Arrow,
+			"channel send %s <- while holding %s; a full (or unbuffered) channel parks the goroutine with the lock held (deadlock shape); send after releasing, or use a select with default",
+			types.ExprString(s.Chan), heldNames(held))
+	}
+}
+
+// expr reports blocking calls reached while locks are held. Function
+// literals inherit the current held set (synchronous-callback
+// assumption); go statements are handled in stmt.
+func (w *lockWalker) expr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.block(n.Body.List, copyHeld(held))
+			return false
+		case *ast.CallExpr:
+			if len(held) == 0 {
+				return true
+			}
+			if callee := w.rpcCallee(n); callee != "" {
+				w.pass.Reportf(n.Pos(),
+					"RPC %s while holding %s; copy state under the lock, release it, then call the wire (mesh-deadlock shape)",
+					callee, heldNames(held))
+				return true
+			}
+			switch kind, callee := w.blockingCallee(n); kind {
+			case blockSleep:
+				w.pass.Reportf(n.Pos(),
+					"%s while holding %s; a sleeping goroutine keeps the lock for the whole (virtual) duration — release before sleeping",
+					callee, heldNames(held))
+			case blockCondWait:
+				w.pass.Reportf(n.Pos(),
+					"sync.Cond.Wait while holding %s; Wait releases only the Cond's own locker, so waiting under another mutex deadlocks (annotate //lint:allow lockheld -- ... if %s is the Cond's locker)",
+					heldNames(held), heldNames(held))
+			}
+		}
+		return true
+	})
+}
+
+type blockKind int
+
+const (
+	blockNone blockKind = iota
+	blockSleep
+	blockCondWait
+)
+
+// blockingCallee classifies a call as a known blocking operation using
+// type information: Sleep declared in package time or in the module's
+// vtime package (the Clock interface and its implementations), and
+// (*sync.Cond).Wait. Files without type info yield no classification.
+func (w *lockWalker) blockingCallee(call *ast.CallExpr) (blockKind, string) {
+	if w.info == nil {
+		return blockNone, ""
+	}
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = w.info.Uses[fun.Sel]
+	case *ast.Ident:
+		obj = w.info.Uses[fun]
+	default:
+		return blockNone, ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return blockNone, ""
+	}
+	switch {
+	case fn.Name() == "Sleep" && fn.Pkg().Path() == "time":
+		return blockSleep, "time.Sleep"
+	case fn.Name() == "Sleep" && fn.Pkg().Path() == w.pass.Pkg.Module+"/internal/vtime":
+		return blockSleep, "Clock.Sleep"
+	case fn.Name() == "Wait" && fn.Pkg().Path() == "sync":
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			if strings.HasSuffix(types.TypeString(recv.Type(), nil), "sync.Cond") {
+				return blockCondWait, "sync.Cond.Wait"
+			}
+		}
+	}
+	return blockNone, ""
+}
+
+// heldNames renders the held set deterministically for the message.
+func heldNames(held map[string]bool) string {
+	names := make([]string, 0, len(held))
+	for n := range held {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}
+
+type lockOpKind int
+
+const (
+	opLock lockOpKind = iota
+	opUnlock
+)
+
+// lockOp recognises x.Lock()/x.RLock()/x.Unlock()/x.RUnlock() statements
+// and returns the lock expression ("dp.mu") and the operation.
+func lockOp(e ast.Expr) (string, lockOpKind, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", 0, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), opLock, true
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), opUnlock, true
+	}
+	return "", 0, false
+}
+
+// rpcCallee classifies a call as an RPC into the wire layer, returning a
+// printable callee name or "".
+func (w *lockWalker) rpcCallee(call *ast.CallExpr) string {
+	fun := call.Fun
+	// Unwrap generic instantiation: wire.Call[Req, Resp](...).
+	switch x := fun.(type) {
+	case *ast.IndexExpr:
+		fun = x.X
+	case *ast.IndexListExpr:
+		fun = x.X
+	}
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && w.wire != "" && id.Name == w.wire && isPkgRef(id) {
+		// Package-qualified: only the Call entry points perform an RPC;
+		// NewClient, NewServer, Handle and the profile constructors are
+		// setup.
+		if sel.Sel.Name == "Call" || sel.Sel.Name == "CallCtx" {
+			return w.wire + "." + sel.Sel.Name
+		}
+		return ""
+	}
+	// Method call named Call — the wire.Client entry point reached
+	// through a field (c.rpc.Call, link.client.Call, ...).
+	if sel.Sel.Name == "Call" || sel.Sel.Name == "CallCtx" {
+		return types.ExprString(sel)
+	}
+	return ""
+}

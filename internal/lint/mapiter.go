@@ -1,0 +1,434 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter enforces map-iteration determinism: Go randomizes map order on
+// purpose, so any `range` over a map whose body can reach an emit path —
+// JSONL export, gob encoding, stream-ID derivation, exchange payload
+// assembly — makes the run diverge between replays even though every
+// input is identical. Byte-identical traces and metrics are the repo's
+// replay invariant, so those loops must iterate sorted keys.
+//
+// Reachability of an emit path is undecidable in general, so the
+// analyzer inverts the burden of proof: a map range is flagged unless
+// its body is provably order-insensitive, meaning every statement is one
+// of
+//
+//   - an assignment whose targets are all map entries indexed by a range
+//     key (or blank), with a call-free right-hand side — each entry is
+//     written exactly once per sweep, so the result cannot depend on
+//     order (an index other than the range key can collide: two keys,
+//     one entry, last write wins);
+//   - a delete() on a map, or ++/--;
+//   - a compound accumulation (+=, |=, &=, ^=, -=, *=) into an integer —
+//     integer arithmetic commutes, but floating-point accumulation does
+//     not (rounding makes FP addition order-dependent), so float
+//     accumulators are flagged too;
+//   - an if/for/block/nested-range built from the same parts, with
+//     call-free conditions;
+//   - continue.
+//
+// One more shape is recognized as safe: the sorted-keys idiom itself,
+//
+//	keys := make([]string, 0, len(m))
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)
+//
+// a body that only appends to one slice, where that slice is later
+// passed to a sort call (sort.* or slices.Sort*) in the same function.
+// Anything else — calls, sends, plain-variable writes, break/return
+// (the "pick an arbitrary element" idiom) — is assumed to feed an emit
+// path and reported. Loops whose order genuinely cannot matter are
+// annotated "//lint:allow mapiter -- reason". Test files are skipped:
+// assertion loops do not feed the deterministic plane. The analyzer
+// needs type information to know what is a map; files excluded from
+// type checking by build constraints are skipped.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "forbid range over a map unless the body is provably order-insensitive " +
+		"or the sorted-keys idiom; map order is randomized and would break replay",
+	SkipTests:  true,
+	NeedsTypes: true,
+	Run:        runMapIter,
+}
+
+func runMapIter(pass *Pass) error {
+	info := pass.Pkg.TypesInfo
+	if info == nil {
+		return nil
+	}
+	for _, f := range pass.Files() {
+		if f.NoTypes {
+			continue
+		}
+		m := &mapiterCheck{pass: pass, info: info}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					m.checkFunc(n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				// Top-level function literals (package var initializers).
+				m.checkFunc(n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type mapiterCheck struct {
+	pass *Pass
+	info *types.Info
+}
+
+// checkFunc inspects one function body, descending into nested literals
+// (each literal is its own sorted-later scope).
+func (m *mapiterCheck) checkFunc(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+			m.checkFunc(fl.Body)
+			return false
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !m.isMap(rng.X) {
+			return true
+		}
+		if m.safeBody(rng.Body.List, rangeKeys(nil, rng)) && !m.accumulatorLeaks(rng.Body) {
+			return true
+		}
+		if s := m.keyCollect(rng); s != "" && m.sortedLater(body, rng, s) {
+			return true
+		}
+		m.pass.Reportf(rng.For,
+			"range over map %s has an order-dependent body; map iteration order is randomized, so collect and sort the keys first (sorted-keys idiom), or annotate //lint:allow mapiter -- reason if order cannot matter",
+			types.ExprString(rng.X))
+		return true
+	})
+}
+
+func (m *mapiterCheck) isMap(e ast.Expr) bool {
+	t := m.info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// safeBody reports whether every statement is order-insensitive. keys
+// holds the names of the enclosing range statements' key variables: a
+// map write indexed by a range key touches each entry exactly once per
+// sweep, which is the only map-write shape that is order-free — writes
+// indexed by anything else (a range value, a derived expression) can
+// collide, and then the final entry depends on iteration order.
+func (m *mapiterCheck) safeBody(stmts []ast.Stmt, keys map[string]bool) bool {
+	for _, s := range stmts {
+		if !m.safeStmt(s, keys) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *mapiterCheck) safeStmt(s ast.Stmt, keys map[string]bool) bool {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+		return true
+	case *ast.BranchStmt:
+		// break/goto select an arbitrary element; only continue is
+		// order-free.
+		return s.Tok == token.CONTINUE
+	case *ast.BlockStmt:
+		return m.safeBody(s.List, keys)
+	case *ast.IfStmt:
+		return m.safeStmt(s.Init, keys) && m.safeExpr(s.Cond) &&
+			m.safeBody(s.Body.List, keys) && m.safeStmt(s.Else, keys)
+	case *ast.ForStmt:
+		return m.safeStmt(s.Init, keys) && (s.Cond == nil || m.safeExpr(s.Cond)) &&
+			m.safeStmt(s.Post, keys) && m.safeBody(s.Body.List, keys)
+	case *ast.RangeStmt:
+		return m.safeExpr(s.X) && m.safeBody(s.Body.List, rangeKeys(keys, s))
+	case *ast.IncDecStmt:
+		return true
+	case *ast.AssignStmt:
+		return m.safeAssign(s, keys)
+	case *ast.ExprStmt:
+		// delete(m, k) is the one order-insensitive call statement.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" && m.isBuiltin(id) {
+				return true
+			}
+		}
+		return false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						if !m.safeExpr(v) {
+							return false
+						}
+					}
+				}
+			}
+			return true
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// safeAssign accepts range-key-indexed map targets and integer
+// accumulators.
+func (m *mapiterCheck) safeAssign(s *ast.AssignStmt, keys map[string]bool) bool {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			if ix, ok := lhs.(*ast.IndexExpr); ok && m.isMap(ix.X) && isRangeKey(ix.Index, keys) {
+				continue
+			}
+			// := of loop-local temporaries is order-free as long as
+			// nothing order-sensitive consumes them, which the other
+			// rules guarantee within a safe body.
+			if s.Tok == token.DEFINE {
+				continue
+			}
+			return false
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+		// Integer accumulation commutes; float accumulation does not
+		// (rounding), and string/slice += concatenation is ordered.
+		for _, lhs := range s.Lhs {
+			t := m.info.TypeOf(lhs)
+			if t == nil {
+				return false
+			}
+			b, ok := t.Underlying().(*types.Basic)
+			if !ok || b.Info()&types.IsInteger == 0 {
+				return false
+			}
+		}
+	default:
+		return false
+	}
+	for _, rhs := range s.Rhs {
+		if !m.safeRHS(s, rhs, keys) {
+			return false
+		}
+	}
+	return true
+}
+
+// safeRHS is safeExpr plus one extra shape: a top-level append assigned
+// to a map entry indexed by the range key — `groups[k] = append(groups[k], v)`
+// — is the group-by idiom, order-free because each key is visited once
+// per iteration. Appends into entries indexed by anything else can
+// collide (two keys, one entry), making the list order depend on map
+// order; appends assigned to plain variables stay forbidden too (that
+// is how order-dependent slices escape the loop).
+func (m *mapiterCheck) safeRHS(s *ast.AssignStmt, e ast.Expr, keys map[string]bool) bool {
+	if call, ok := e.(*ast.CallExpr); ok && len(s.Lhs) == 1 {
+		if ix, ok := s.Lhs[0].(*ast.IndexExpr); ok && m.isMap(ix.X) && isRangeKey(ix.Index, keys) {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && m.isBuiltin(id) {
+				for _, a := range call.Args {
+					if !m.safeExpr(a) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+	}
+	return m.safeExpr(e)
+}
+
+// rangeKeys returns keys extended with s's key variable, when it is a
+// plain identifier. The incoming set is not mutated.
+func rangeKeys(keys map[string]bool, s *ast.RangeStmt) map[string]bool {
+	id, ok := s.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return keys
+	}
+	out := make(map[string]bool, len(keys)+1)
+	//lint:allow mapiter -- set copy; insertion order cannot matter
+	for k := range keys {
+		out[k] = true
+	}
+	out[id.Name] = true
+	return out
+}
+
+// isRangeKey reports whether e is one of the enclosing range keys.
+func isRangeKey(e ast.Expr, keys map[string]bool) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && keys[id.Name]
+}
+
+// accumulatorLeaks reports whether a counter written by ++/--/compound
+// assignment is also read elsewhere in the body — `i++; id[k] = i`
+// derives sequence numbers from map order, which is exactly the
+// stream-ID nondeterminism this analyzer exists to stop, even though
+// each statement alone looks order-free.
+func (m *mapiterCheck) accumulatorLeaks(body *ast.BlockStmt) bool {
+	type span struct{ a, b token.Pos }
+	accs := map[string][]span{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IncDecStmt:
+			if id, ok := s.X.(*ast.Ident); ok {
+				accs[id.Name] = append(accs[id.Name], span{s.Pos(), s.End()})
+			}
+		case *ast.AssignStmt:
+			if s.Tok != token.ASSIGN && s.Tok != token.DEFINE {
+				for _, l := range s.Lhs {
+					if id, ok := l.(*ast.Ident); ok {
+						accs[id.Name] = append(accs[id.Name], span{s.Pos(), s.End()})
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(accs) == 0 {
+		return false
+	}
+	leak := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		spans, ok := accs[id.Name]
+		if !ok {
+			return true
+		}
+		inOwn := false
+		for _, sp := range spans {
+			if id.Pos() >= sp.a && id.Pos() <= sp.b {
+				inOwn = true
+			}
+		}
+		if !inOwn {
+			leak = true
+		}
+		return !leak
+	})
+	return leak
+}
+
+// safeExpr rejects expressions that can emit or block: any call (except
+// pure builtins and type conversions), function literals and channel
+// receives.
+func (m *mapiterCheck) safeExpr(e ast.Expr) bool {
+	safe := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			safe = false
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				safe = false
+				return false
+			}
+		case *ast.CallExpr:
+			if tv, ok := m.info.Types[n.Fun]; ok && tv.IsType() {
+				return true // conversion
+			}
+			id, ok := n.Fun.(*ast.Ident)
+			if !ok || !m.isBuiltin(id) {
+				safe = false
+				return false
+			}
+			switch id.Name {
+			case "len", "cap", "min", "max", "make", "new", "complex", "real", "imag":
+				return true
+			default:
+				safe = false
+				return false
+			}
+		}
+		return true
+	})
+	return safe
+}
+
+func (m *mapiterCheck) isBuiltin(id *ast.Ident) bool {
+	_, ok := m.info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// keyCollect recognises a body that is exactly one append of loop
+// variables into a slice — `keys = append(keys, k)` — and returns the
+// printable slice expression, or "".
+func (m *mapiterCheck) keyCollect(rng *ast.RangeStmt) string {
+	body := rng.Body.List
+	if len(body) != 1 {
+		return ""
+	}
+	as, ok := body[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 ||
+		(as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+		return ""
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return ""
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || !m.isBuiltin(id) {
+		return ""
+	}
+	dst := types.ExprString(as.Lhs[0])
+	if types.ExprString(call.Args[0]) != dst {
+		return ""
+	}
+	for _, arg := range call.Args[1:] {
+		if !m.safeExpr(arg) {
+			return ""
+		}
+	}
+	return dst
+}
+
+// sortedLater reports whether slice expr s is passed to a recognized
+// sort call after the range loop, in the same function body.
+func (m *mapiterCheck) sortedLater(body *ast.BlockStmt, rng *ast.RangeStmt, s string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := m.info.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		if p := obj.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if types.ExprString(arg) == s {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,13 @@
+// A bare //lint:allow (no "-- reason"): the underlying wallclock
+// finding is suppressed, but the annotation itself must be reported by
+// the pseudo-analyzer "allow". The want-comment harness cannot place an
+// expectation on a line the allow comment occupies, so lint_test.go
+// asserts this package's diagnostics programmatically.
+package allowbare
+
+import "time"
+
+func bare() time.Time {
+	//lint:allow wallclock
+	return time.Now()
+}

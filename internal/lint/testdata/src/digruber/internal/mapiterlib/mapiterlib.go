@@ -1,0 +1,124 @@
+// The map-iteration shapes mapiter classifies: order-free bodies
+// (key-indexed rebuilds, integer accumulation, deletion, the
+// sorted-keys idiom, group-by keyed on the range key) stay quiet;
+// bodies whose effect depends on iteration order are flagged.
+package mapiterlib
+
+import "sort"
+
+// lower is safe: the rebuild is indexed by the range key, so every
+// entry lands in its own slot regardless of visit order.
+func lower(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+// invert is flagged: rekeying by the range value lets entries collide,
+// and which write wins depends on iteration order.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m { // want `range over map m has an order-dependent body`
+		out[v] = k
+	}
+	return out
+}
+
+// total is safe: integer addition commutes.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// mean is flagged: float addition does not commute under rounding.
+func mean(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `range over map m has an order-dependent body`
+		sum += v
+	}
+	return sum / float64(len(m))
+}
+
+// expire is safe: deleting while ranging is order-free.
+func expire(m map[string]int, cutoff int) {
+	for k, v := range m {
+		if v < cutoff {
+			delete(m, k)
+		}
+	}
+}
+
+// sortedKeys is safe: the collected keys are sorted before they can
+// reach any emit path — the canonical idiom.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// values is flagged: the collected slice escapes without a sort, so its
+// order is the map's.
+func values(m map[string]int) []int {
+	var vals []int
+	for _, v := range m { // want `range over map m has an order-dependent body`
+		vals = append(vals, v)
+	}
+	return vals
+}
+
+// emit is flagged: a call inside the body can observe the visit order.
+func emit(m map[string]int, out func(string)) {
+	for k := range m { // want `range over map m has an order-dependent body`
+		out(k)
+	}
+}
+
+// sequence is flagged: the counter leaks map order into the assigned
+// sequence numbers.
+func sequence(ids map[string]bool) map[string]int {
+	seq := make(map[string]int, len(ids))
+	i := 0
+	for k := range ids { // want `range over map ids has an order-dependent body`
+		i++
+		seq[k] = i
+	}
+	return seq
+}
+
+// tag is safe: the group-by target is indexed by the range key, so the
+// per-key lists cannot interleave.
+func tag(m map[string]int) map[string][]int {
+	out := make(map[string][]int)
+	for k, v := range m {
+		out[k] = append(out[k], v, v+1)
+	}
+	return out
+}
+
+// group is flagged: grouping by the range value makes each list's
+// element order the map's visit order.
+func group(m map[string]int) map[int][]string {
+	out := make(map[int][]string)
+	for k, v := range m { // want `range over map m has an order-dependent body`
+		out[v] = append(out[v], k)
+	}
+	return out
+}
+
+// pickOne is flagged: break selects an arbitrary element.
+func pickOne(m map[string]int) string {
+	var pick string
+	for k := range m { // want `range over map m has an order-dependent body`
+		pick = k
+		break
+	}
+	return pick
+}

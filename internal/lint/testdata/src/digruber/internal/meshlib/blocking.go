@@ -1,0 +1,77 @@
+// The non-RPC blocking shapes lockheld polices: channel sends, virtual
+// and wall-clock sleeps, and sync.Cond.Wait — each while a mutex is
+// held, with the canonical safe variants alongside.
+package meshlib
+
+import (
+	"sync"
+	"time"
+
+	"digruber/internal/vtime"
+)
+
+type queue struct {
+	mu    sync.Mutex
+	ch    chan int
+	cond  *sync.Cond
+	clock vtime.Clock
+	n     int
+}
+
+// badSend parks with the lock held whenever ch is full or unbuffered.
+func (q *queue) badSend(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.ch <- v // want `channel send q\.ch <- while holding q\.mu`
+}
+
+// goodSelectDefault: a send inside a select with a default clause is an
+// attempt, not a park.
+func (q *queue) goodSelectDefault(v int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+	default:
+		q.n++
+	}
+}
+
+// goodSendAfterUnlock is the canonical fix: mutate under the lock,
+// release, then send.
+func (q *queue) goodSendAfterUnlock(v int) {
+	q.mu.Lock()
+	q.n++
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// badVirtualSleep holds the lock for the whole virtual duration.
+func (q *queue) badVirtualSleep() {
+	q.mu.Lock()
+	q.clock.Sleep(time.Second) // want `Clock\.Sleep while holding q\.mu`
+	q.mu.Unlock()
+}
+
+// badWallSleep is the same bug on the real clock.
+func (q *queue) badWallSleep() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding q\.mu`
+}
+
+// goodSleepAfterUnlock releases before sleeping.
+func (q *queue) goodSleepAfterUnlock() {
+	q.mu.Lock()
+	q.n++
+	q.mu.Unlock()
+	q.clock.Sleep(time.Second)
+}
+
+// badCondWait waits under a mutex that is not the Cond's locker: Wait
+// releases only its own locker, so this wedges.
+func (q *queue) badCondWait(extra *sync.Mutex) {
+	extra.Lock()
+	defer extra.Unlock()
+	q.cond.Wait() // want `sync\.Cond\.Wait while holding extra`
+}

@@ -1,0 +1,10 @@
+package vtime
+
+import "time"
+
+// Clock is the virtual-time stub the lockheld fixtures sleep on: a
+// Sleep resolved to this package classifies as Clock.Sleep.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}

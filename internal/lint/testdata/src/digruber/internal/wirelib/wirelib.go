@@ -1,0 +1,49 @@
+// The wireschema fixture: its protocol structs are checked against the
+// fixture lockfile at testdata/src/digruber/internal/lint/wireschema.lock,
+// which records Frame with its two trailing fields swapped (the
+// cross-version decode break the analyzer exists to catch), StatusReply
+// without its newest field (a gob-compatible append awaiting
+// -update-schema), and QueryArgs/Limits exactly as written (clean).
+package wirelib
+
+import (
+	"time"
+
+	"digruber/internal/wire"
+)
+
+type Frame struct { // want `wire schema of digruber/internal/wirelib\.Frame drifted from internal/lint/wireschema\.lock \(reordered: field 1 recorded as "Kind byte", now "Method string"; field 2 recorded as "Method string", now "Kind byte"\)`
+	ID     uint64
+	Method string
+	Kind   byte
+}
+
+type QueryArgs struct {
+	Owner  string
+	CPUs   int
+	Limits Limits
+
+	seq uint64 // unexported: invisible to gob, absent from the lockfile
+}
+
+type Limits struct {
+	MaxCPUs int
+	Runtime time.Duration
+}
+
+type StatusReply struct { // want `wire schema of digruber/internal/wirelib\.StatusReply gained trailing field\(s\) "Extra int64"`
+	Name   string
+	Queued int
+	Extra  int64
+}
+
+type UnrecordedArgs struct { // want `gob protocol struct digruber/internal/wirelib\.UnrecordedArgs is not recorded in internal/lint/wireschema\.lock`
+	X string
+}
+
+// query is the discovery root: every type argument of a wire.Call /
+// wire.Handle instantiation joins the schema closure.
+func query(c *wire.Client, s *wire.Server) {
+	_, _ = wire.Call[QueryArgs, StatusReply](c, "status", QueryArgs{}, time.Second)
+	wire.Handle(s, "frame", func(f Frame) (UnrecordedArgs, error) { return UnrecordedArgs{}, nil })
+}

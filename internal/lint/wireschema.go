@@ -1,0 +1,496 @@
+package lint
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WireSchema turns the repo's protocol-evolution convention — gob wire
+// structs grow by appending trailing fields, never by renaming,
+// retyping, reordering or deleting — into a machine-checked gate
+// against a committed lockfile, internal/lint/wireschema.lock. gob
+// value encoding delta-encodes field indices and matches fields by
+// name, so an append leaves old encodings byte-identical (zero fields
+// are elided) while any other edit silently renumbers or drops fields
+// and breaks cross-version decode. The cross-version decode tests catch
+// that only for the struct pairs they exercise; the lockfile covers
+// every reachable payload.
+//
+// The analyzer discovers protocol structs from use, not from a
+// hand-kept list: every type argument of a wire.Call / wire.CallCtx /
+// wire.Handle / wire.HandleCtx instantiation and every value passed to
+// a gob Encoder.Encode / Decoder.Decode is a root, and the set is
+// closed over all in-module named struct types reachable through
+// exported fields (slices, arrays, maps and pointers included). Types
+// outside the module — time.Time, time.Duration — are encoding leaves.
+// A new payload struct therefore needs a lockfile entry before lint
+// passes, recorded with:
+//
+//	go run ./cmd/digruber-lint -update-schema ./...
+//
+// Verification runs as a module pass: schema drift (rename, retype,
+// reorder, delete) is reported with a field-level diff at the struct's
+// declaration; appended fields and unrecorded structs point at
+// -update-schema; and — on whole-module runs — lockfile entries whose
+// struct is gone or unreachable are reported as stale.
+var WireSchema = &Analyzer{
+	Name: "wireschema",
+	Doc: "check gob protocol structs against the committed wire-schema lockfile " +
+		"(internal/lint/wireschema.lock); appends re-record via -update-schema, " +
+		"anything else is a wire-compatibility break",
+	SkipTests:  true,
+	NeedsTypes: true,
+	RunModule:  runWireSchema,
+}
+
+// LockfileRel is the lockfile path relative to the module root.
+const LockfileRel = "internal/lint/wireschema.lock"
+
+// LockfilePath returns the lockfile path for a module root.
+func LockfilePath(root string) string {
+	return filepath.Join(root, filepath.FromSlash(LockfileRel))
+}
+
+// SchemaField is one exported (gob-visible) field of a protocol struct.
+type SchemaField struct {
+	Name string
+	// Type is the field's type rendered with full package paths
+	// ("[]digruber/internal/gruber.Dispatch", "time.Duration"), which
+	// keeps the lockfile stable under import renames.
+	Type string
+}
+
+func (f SchemaField) String() string { return f.Name + " " + f.Type }
+
+// StructSchema is the gob wire schema of one struct: its exported
+// fields in declaration order. Unexported fields are invisible to gob
+// and deliberately unrecorded.
+type StructSchema struct {
+	// Key is "<package path>.<type name>".
+	Key    string
+	Fields []SchemaField
+	// Pos is the struct's declaration site (or the lockfile line, for
+	// entries read from disk).
+	Pos token.Position
+}
+
+// Schema is a set of struct schemas keyed by Key.
+type Schema struct {
+	Structs map[string]*StructSchema
+}
+
+// Keys returns the struct keys in sorted order.
+func (s *Schema) Keys() []string {
+	keys := make([]string, 0, len(s.Structs))
+	for k := range s.Structs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ComputeSchema extracts the wire schema of every gob protocol struct
+// reachable from the given packages' wire entry points.
+func ComputeSchema(pkgs []*Package) (*Schema, error) {
+	out := &Schema{Structs: map[string]*StructSchema{}}
+	for _, pkg := range pkgs {
+		if pkg.TypesInfo == nil {
+			if pkg.Loader == nil {
+				return nil, fmt.Errorf("lint: wireschema needs type information for %s", pkg.ImportPath)
+			}
+			if err := pkg.Loader.Check(pkg); err != nil {
+				return nil, err
+			}
+		}
+		c := &schemaCloser{
+			module: pkg.Module,
+			fset:   pkg.Fset,
+			out:    out,
+			seen:   map[string]bool{},
+		}
+		for key := range out.Structs {
+			c.seen[key] = true
+		}
+		collectRoots(pkg, c)
+	}
+	return out, nil
+}
+
+// wireEntryPoints are the generic RPC entry points of internal/wire
+// whose type arguments are wire payloads.
+var wireEntryPoints = map[string]bool{
+	"Call":      true,
+	"CallCtx":   true,
+	"Handle":    true,
+	"HandleCtx": true,
+}
+
+// collectRoots feeds every payload type used by pkg into the closer:
+// wire entry-point instantiations plus direct gob Encode/Decode calls.
+func collectRoots(pkg *Package, c *schemaCloser) {
+	info := pkg.TypesInfo
+	wirePath := pkg.Module + "/internal/wire"
+	//lint:allow mapiter -- roots land in a map-keyed closure; insertion order cannot matter
+	for id, inst := range info.Instances {
+		fn, ok := info.Uses[id].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != wirePath || !wireEntryPoints[fn.Name()] {
+			continue
+		}
+		for i := 0; i < inst.TypeArgs.Len(); i++ {
+			c.add(inst.TypeArgs.At(i))
+		}
+	}
+	for _, f := range pkg.Files {
+		if f.NoTypes {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/gob" {
+				return true
+			}
+			if fn.Name() != "Encode" && fn.Name() != "Decode" {
+				return true
+			}
+			if t := info.TypeOf(call.Args[0]); t != nil {
+				c.add(t)
+			}
+			return true
+		})
+	}
+}
+
+// schemaCloser computes the reachable-struct closure of root types.
+type schemaCloser struct {
+	module string
+	fset   *token.FileSet
+	out    *Schema
+	seen   map[string]bool
+}
+
+// add records t (and everything reachable from it) if it is an
+// in-module named struct; container types are traversed, out-of-module
+// types are encoding leaves.
+func (c *schemaCloser) add(t types.Type) {
+	t = types.Unalias(t)
+	switch t := t.(type) {
+	case *types.Pointer:
+		c.add(t.Elem())
+	case *types.Slice:
+		c.add(t.Elem())
+	case *types.Array:
+		c.add(t.Elem())
+	case *types.Map:
+		c.add(t.Key())
+		c.add(t.Elem())
+	case *types.Named:
+		obj := t.Obj()
+		if obj.Pkg() == nil {
+			return // error, comparable, ...
+		}
+		path := obj.Pkg().Path()
+		if path != c.module && !strings.HasPrefix(path, c.module+"/") {
+			return // stdlib boundary: time.Time et al. own their encoding
+		}
+		key := path + "." + obj.Name()
+		if c.seen[key] {
+			return
+		}
+		c.seen[key] = true
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			c.add(t.Underlying())
+			return
+		}
+		entry := &StructSchema{Key: key, Pos: c.fset.Position(obj.Pos())}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !f.Exported() {
+				continue // invisible to gob
+			}
+			entry.Fields = append(entry.Fields, SchemaField{
+				Name: f.Name(),
+				Type: types.TypeString(f.Type(), pkgPathQualifier),
+			})
+			c.add(f.Type())
+		}
+		c.out.Structs[key] = entry
+	}
+}
+
+// pkgPathQualifier renders named types with their full package path, so
+// the lockfile is insensitive to import aliasing.
+func pkgPathQualifier(p *types.Package) string { return p.Path() }
+
+// FormatLockfile renders a schema as the committed lockfile text:
+// struct keys sorted, one indented "index name type" line per field.
+func FormatLockfile(s *Schema) []byte {
+	var b bytes.Buffer
+	b.WriteString("# gob wire-schema lockfile — recorded by `digruber-lint -update-schema`.\n")
+	b.WriteString("# Protocol structs evolve append-only: renaming, retyping, reordering or\n")
+	b.WriteString("# deleting a recorded field breaks cross-version gob compatibility and\n")
+	b.WriteString("# fails the wireschema analyzer. Appending trailing fields is compatible\n")
+	b.WriteString("# (gob elides zero values) but must be re-recorded with -update-schema.\n")
+	for _, key := range s.Keys() {
+		entry := s.Structs[key]
+		fmt.Fprintf(&b, "\n%s\n", key)
+		for i, f := range entry.Fields {
+			fmt.Fprintf(&b, "\t%d %s %s\n", i, f.Name, f.Type)
+		}
+	}
+	return b.Bytes()
+}
+
+// ParseLockfile reads lockfile text back into a Schema whose entries
+// carry lockfile positions.
+func ParseLockfile(path string, data []byte) (*Schema, error) {
+	s := &Schema{Structs: map[string]*StructSchema{}}
+	var cur *StructSchema
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Text()
+		text := strings.TrimSpace(raw)
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		if !strings.HasPrefix(raw, "\t") && !strings.HasPrefix(raw, " ") {
+			if s.Structs[text] != nil {
+				return nil, fmt.Errorf("%s:%d: duplicate entry %s", path, line, text)
+			}
+			cur = &StructSchema{Key: text, Pos: token.Position{Filename: path, Line: line}}
+			s.Structs[text] = cur
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("%s:%d: field line before any struct entry", path, line)
+		}
+		parts := strings.SplitN(text, " ", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed field line %q (want \"index name type\")", path, line, text)
+		}
+		idx, err := strconv.Atoi(parts[0])
+		if err != nil || idx != len(cur.Fields) {
+			return nil, fmt.Errorf("%s:%d: field index %q out of sequence (want %d)", path, line, parts[0], len(cur.Fields))
+		}
+		cur.Fields = append(cur.Fields, SchemaField{Name: parts[1], Type: parts[2]})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// UpdateLockfile recomputes the schema of pkgs and writes the lockfile
+// under root, returning its path and a human summary of what changed.
+func UpdateLockfile(pkgs []*Package, root string) (path, summary string, err error) {
+	cur, err := ComputeSchema(pkgs)
+	if err != nil {
+		return "", "", err
+	}
+	path = LockfilePath(root)
+	var prev *Schema
+	if data, err := os.ReadFile(path); err == nil {
+		prev, _ = ParseLockfile(path, data)
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		return "", "", err
+	}
+	if err := os.WriteFile(path, FormatLockfile(cur), 0o666); err != nil {
+		return "", "", err
+	}
+	added, changed, removed := 0, 0, 0
+	if prev != nil {
+		for _, key := range cur.Keys() {
+			if old, ok := prev.Structs[key]; !ok {
+				added++
+			} else if DiffStructs(old, cur.Structs[key]) != "" {
+				changed++
+			}
+		}
+		for key := range prev.Structs {
+			//lint:allow mapiter -- counting absent keys; order cannot matter
+			if _, ok := cur.Structs[key]; !ok {
+				removed++
+			}
+		}
+	} else {
+		added = len(cur.Structs)
+	}
+	summary = fmt.Sprintf("recorded %d struct(s) (%d added, %d changed, %d removed)",
+		len(cur.Structs), added, changed, removed)
+	return path, summary, nil
+}
+
+// DiffStructs compares a recorded schema against the current one and
+// returns a classified field-level diff ("" when identical). An
+// append-only change is prefixed "appended:"; everything else is a
+// wire-compatibility break.
+func DiffStructs(locked, cur *StructSchema) string {
+	if len(locked.Fields) <= len(cur.Fields) {
+		prefix := true
+		for i, f := range locked.Fields {
+			if cur.Fields[i] != f {
+				prefix = false
+				break
+			}
+		}
+		if prefix {
+			if len(locked.Fields) == len(cur.Fields) {
+				return ""
+			}
+			var names []string
+			for _, f := range cur.Fields[len(locked.Fields):] {
+				names = append(names, strconv.Quote(f.String()))
+			}
+			return "appended: " + strings.Join(names, ", ")
+		}
+	}
+	var details []string
+	for i := 0; i < len(locked.Fields) || i < len(cur.Fields); i++ {
+		switch {
+		case i >= len(cur.Fields):
+			details = append(details, fmt.Sprintf("field %d recorded as %q is gone", i, locked.Fields[i].String()))
+		case i >= len(locked.Fields):
+			details = append(details, fmt.Sprintf("field %d %q is new", i, cur.Fields[i].String()))
+		case locked.Fields[i] != cur.Fields[i]:
+			details = append(details, fmt.Sprintf("field %d recorded as %q, now %q", i, locked.Fields[i].String(), cur.Fields[i].String()))
+		}
+	}
+	return classifyDrift(locked, cur) + ": " + strings.Join(details, "; ")
+}
+
+// classifyDrift names the kind of breaking change for the diagnostic.
+func classifyDrift(locked, cur *StructSchema) string {
+	if len(locked.Fields) == len(cur.Fields) {
+		sameSet := func(a, b []SchemaField) bool {
+			as := append([]SchemaField(nil), a...)
+			bs := append([]SchemaField(nil), b...)
+			sort.Slice(as, func(i, j int) bool { return as[i].String() < as[j].String() })
+			sort.Slice(bs, func(i, j int) bool { return bs[i].String() < bs[j].String() })
+			for i := range as {
+				if as[i] != bs[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if sameSet(locked.Fields, cur.Fields) {
+			return "reordered"
+		}
+		renamed, retyped := false, false
+		for i := range locked.Fields {
+			if locked.Fields[i] == cur.Fields[i] {
+				continue
+			}
+			switch {
+			case locked.Fields[i].Type == cur.Fields[i].Type:
+				renamed = true
+			case locked.Fields[i].Name == cur.Fields[i].Name:
+				retyped = true
+			default:
+				return "changed"
+			}
+		}
+		switch {
+		case renamed && !retyped:
+			return "renamed"
+		case retyped && !renamed:
+			return "retyped"
+		}
+		return "changed"
+	}
+	if len(locked.Fields) > len(cur.Fields) {
+		return "deleted"
+	}
+	return "changed"
+}
+
+// runWireSchema verifies the computed schema against the lockfile.
+func runWireSchema(mp *ModulePass) error {
+	if len(mp.Pkgs) == 0 {
+		return nil
+	}
+	root := ""
+	for _, pkg := range mp.Pkgs {
+		if pkg.Root != "" {
+			root = pkg.Root
+			break
+		}
+	}
+	if root == "" {
+		return nil // synthetic packages with no module root: nothing to check against
+	}
+	cur, err := ComputeSchema(mp.Pkgs)
+	if err != nil {
+		return err
+	}
+	lockPath := LockfilePath(root)
+	data, err := os.ReadFile(lockPath)
+	if err != nil {
+		if len(cur.Structs) > 0 {
+			mp.Reportf(token.Position{Filename: lockPath, Line: 1},
+				"wire-schema lockfile is missing but %d gob protocol struct(s) are reachable; record them with `digruber-lint -update-schema`",
+				len(cur.Structs))
+		}
+		return nil
+	}
+	locked, err := ParseLockfile(lockPath, data)
+	if err != nil {
+		mp.Reportf(token.Position{Filename: lockPath, Line: 1}, "unreadable lockfile: %v", err)
+		return nil
+	}
+	for _, key := range cur.Keys() {
+		c := cur.Structs[key]
+		l, ok := locked.Structs[key]
+		if !ok {
+			mp.Reportf(c.Pos,
+				"gob protocol struct %s is not recorded in %s; record its wire schema with `digruber-lint -update-schema`",
+				key, LockfileRel)
+			continue
+		}
+		diff := DiffStructs(l, c)
+		if diff == "" {
+			continue
+		}
+		if strings.HasPrefix(diff, "appended: ") {
+			mp.Reportf(c.Pos,
+				"wire schema of %s gained trailing field(s) %s; appends are gob-compatible but must be re-recorded with `digruber-lint -update-schema`",
+				key, strings.TrimPrefix(diff, "appended: "))
+			continue
+		}
+		mp.Reportf(c.Pos,
+			"wire schema of %s drifted from %s (%s); gob decodes by name and delta-encoded field index, so this breaks cross-version decode — restore the recorded layout and append new fields at the end",
+			key, LockfileRel, diff)
+	}
+	if mp.WholeModule {
+		for _, key := range lockedKeys(locked) {
+			if _, ok := cur.Structs[key]; !ok {
+				mp.Reportf(locked.Structs[key].Pos,
+					"recorded struct %s is no longer reachable from any wire entry point or gob encode; remove its entry with `digruber-lint -update-schema`",
+					key)
+			}
+		}
+	}
+	return nil
+}
+
+func lockedKeys(s *Schema) []string { return s.Keys() }

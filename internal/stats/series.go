@@ -106,6 +106,7 @@ func (s *Series) Summary() Summary { return Summarize(s.Values()) }
 func Render(origin time.Time, w time.Duration, curves map[string][]float64) string {
 	names := make([]string, 0, len(curves))
 	n := 0
+	//lint:allow mapiter -- names are sorted right below; n is a max, which is order-independent
 	for name, vals := range curves {
 		names = append(names, name)
 		if len(vals) > n {

@@ -42,8 +42,10 @@ func BuildTrees(records []Record) []*Tree {
 		byspan[r.Span] = &Node{Record: r}
 	}
 	var trees []*Tree
+	//lint:allow mapiter -- trees and children are fully sorted with total tie-breaks below
 	for _, byspan := range nodes {
 		var roots []*Node
+		//lint:allow mapiter -- child and root order is erased by countAndSort and the trees sort
 		for _, n := range byspan {
 			if parent, ok := byspan[n.Parent]; ok && n.Parent != 0 && parent != n {
 				parent.Children = append(parent.Children, n)
@@ -168,6 +170,7 @@ func PhaseBreakdown(trees []*Tree) []PhaseStat {
 	spanCount := make(map[string]int)
 	for _, t := range trees {
 		excl, _ := t.Exclusive()
+		//lint:allow mapiter -- group-by into perPhase: one append per key per tree, so per-key order follows the tree slice
 		for name, d := range excl {
 			perPhase[name] = append(perPhase[name], d.Seconds())
 		}
@@ -175,6 +178,7 @@ func PhaseBreakdown(trees []*Tree) []PhaseStat {
 	}
 	var grand time.Duration
 	out := make([]PhaseStat, 0, len(perPhase))
+	//lint:allow mapiter -- grand is an integer-duration sum and out is sorted by (Total, name) below
 	for name, secs := range perPhase {
 		var total time.Duration
 		var maxv float64

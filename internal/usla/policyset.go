@@ -231,10 +231,13 @@ func (ps *PolicySet) Validate() []error {
 		provider string
 		parent   Path
 	}
-	targetSums := make(map[scopeKey]float64)
+	targets := make(map[scopeKey][]float64)
 
+	//lint:allow mapiter -- errs are sorted before return; targets is a group-by whose lists are sorted before summing
 	for res, byConsumer := range ps.index {
+		//lint:allow mapiter -- same: order is erased by the errs sort and the per-key target sort
 		for consumer, byProvider := range byConsumer {
+			//lint:allow mapiter -- same: order is erased by the errs sort and the per-key target sort
 			for provider, l := range byProvider {
 				if l.hasLower && l.hasUpper && l.lower > l.upper {
 					errs = append(errs, fmt.Errorf(
@@ -242,12 +245,21 @@ func (ps *PolicySet) Validate() []error {
 						provider, consumer, res, l.lower, l.upper))
 				}
 				if l.hasTarget {
-					targetSums[scopeKey{res, provider, consumer.Parent()}] += l.target
+					key := scopeKey{res, provider, consumer.Parent()}
+					targets[key] = append(targets[key], l.target)
 				}
 			}
 		}
 	}
-	for key, sum := range targetSums {
+	//lint:allow mapiter -- errs are sorted before return
+	for key, list := range targets {
+		// Sum in sorted order: float addition does not commute under
+		// rounding, so the comparison below must not see map order.
+		sort.Float64s(list)
+		var sum float64
+		for _, t := range list {
+			sum += t
+		}
 		if sum > 100+1e-9 {
 			errs = append(errs, fmt.Errorf(
 				"usla: provider %s, scope %q, resource %s: sibling targets sum to %.1f%% > 100%%",

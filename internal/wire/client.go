@@ -209,6 +209,7 @@ func (c *Client) dropConn(conn Conn, cause error) {
 	c.pending = make(map[uint64]chan frame)
 	c.mu.Unlock()
 	_ = conn.Close()
+	//lint:allow mapiter -- each orphaned call has its own reply channel; delivery order is immaterial
 	for _, ch := range orphans {
 		ch <- frame{Err: connLostPrefix + cause.Error()}
 	}

@@ -368,6 +368,7 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	conns := make([]*serverConn, 0, len(s.conns))
+	//lint:allow mapiter -- teardown: every connection is closed; close order is immaterial
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
