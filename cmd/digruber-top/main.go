@@ -221,12 +221,57 @@ func record(brokers []*broker, metrics *wire.ClientMetrics, reg *tsdb.Registry, 
 		gauge(p + "shed").Set(float64(st.Shed))
 		gauge(p + "expired").Set(float64(st.Expired))
 		gauge(p + "conn_lost").Set(float64(st.ConnLost))
+		draining := 0.0
+		if st.State == digruber.StateDraining {
+			draining = 1
+		}
+		gauge(p + "draining").Set(draining)
 		if div, ok := metric(st, "dp/"+st.Name+"/engine/divergence_l1"); ok {
 			gauge(p + "divergence_l1").Set(div)
 		}
+		// Lifecycle counters, when the broker publishes a metrics plane:
+		// drains started, drains aborted, retirements completed.
+		for _, series := range []string{"drains", "drain_aborts", "retired"} {
+			if v, ok := metric(st, "dp/"+st.Name+"/lifecycle/"+series); ok {
+				gauge(p + series).Set(v)
+			}
+		}
 	}
+	serving, draining, stopped := fleetStates(brokers)
+	gauge("top/fleet/size").Set(float64(serving + draining))
+	gauge("top/fleet/serving").Set(float64(serving))
+	gauge("top/fleet/draining").Set(float64(draining))
+	gauge("top/fleet/stopped").Set(float64(stopped))
 	gauge("top/fleet/poll_throttled").Set(float64(metrics.Stats().Throttled))
 	reg.Sample(now)
+}
+
+// lifecycleState names a polled broker's lifecycle state. A broker that
+// stopped answering reads as stopped — "stopped" is never on the wire,
+// it is inferred from the failed poll.
+func lifecycleState(b *broker) string {
+	if !b.up {
+		return digruber.StateStopped
+	}
+	if b.last.State == "" {
+		return digruber.StateServing
+	}
+	return b.last.State
+}
+
+// fleetStates tallies the fleet by lifecycle state.
+func fleetStates(brokers []*broker) (serving, draining, stopped int) {
+	for _, b := range brokers {
+		switch lifecycleState(b) {
+		case digruber.StateDraining:
+			draining++
+		case digruber.StateStopped:
+			stopped++
+		default:
+			serving++
+		}
+	}
+	return
 }
 
 // render draws the fleet table.
@@ -234,21 +279,22 @@ func render(w *os.File, brokers []*broker, metrics *wire.ClientMetrics, plain bo
 	if !plain {
 		fmt.Fprint(w, "\033[H\033[2J")
 	}
-	fmt.Fprintf(w, "digruber-top — %d brokers, %d polls throttled\n",
-		len(brokers), metrics.Stats().Throttled)
-	fmt.Fprintf(w, "%-10s %-5s %9s %8s %8s %6s %6s %8s %8s %8s %12s %-12s\n",
+	serving, draining, stopped := fleetStates(brokers)
+	fmt.Fprintf(w, "digruber-top — fleet %d: %d serving, %d draining, %d stopped; %d polls throttled\n",
+		serving+draining, serving, draining, stopped, metrics.Stats().Throttled)
+	fmt.Fprintf(w, "%-10s %-9s %9s %8s %8s %6s %6s %8s %8s %8s %12s %-12s\n",
 		"NAME", "STATE", "BRK", "RATE", "CAP", "INFL", "QUEUE", "SHED", "EXPIRED", "LOST", "DIVERGENCE", "PEERS a/s/d")
 	for _, b := range brokers {
 		brk := b.breaker.State().String()
 		if !b.up {
-			fmt.Fprintf(w, "%-10s %-5s %9s %8s %8s %6s %6s %8s %8s %8s %12s %-12s\n",
-				b.name, "down", brk, "-", "-", "-", "-", "-", "-", "-", "-", "-")
+			fmt.Fprintf(w, "%-10s %-9s %9s %8s %8s %6s %6s %8s %8s %8s %12s %-12s\n",
+				b.name, digruber.StateStopped, brk, "-", "-", "-", "-", "-", "-", "-", "-", "-")
 			continue
 		}
 		st := b.last
-		state := "ok"
+		state := lifecycleState(b)
 		if st.Saturated {
-			state = "sat"
+			state += "+sat"
 		}
 		div := "-"
 		if v, ok := metric(st, "dp/"+st.Name+"/engine/divergence_l1"); ok {
@@ -265,7 +311,7 @@ func render(w *os.File, brokers []*broker, metrics *wire.ClientMetrics, plain bo
 				dead++
 			}
 		}
-		fmt.Fprintf(w, "%-10s %-5s %9s %8.2f %8.2f %6d %6d %8d %8d %8d %12s %d/%d/%d\n",
+		fmt.Fprintf(w, "%-10s %-9s %9s %8.2f %8.2f %6d %6d %8d %8d %8d %12s %d/%d/%d\n",
 			b.name, state, brk, st.ObservedRate, st.CapacityRate,
 			st.InFlight, st.Queued, st.Shed, st.Expired, st.ConnLost, div,
 			alive, suspect, dead)

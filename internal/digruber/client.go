@@ -1,6 +1,7 @@
 package digruber
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -267,21 +268,29 @@ func (c *Client) Schedule(j *grid.Job) Decision {
 		return c.scheduleSingleCall(j, start, dec, root)
 	}
 
-	rpc, br := c.connAndBreaker()
-	qs := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseQuery)
-	var reply QueryReply
-	var err error
-	if br.Allow() {
-		reply, err = wire.CallCtx[QueryArgs, QueryReply](rpc, qs.Context(), MethodQuery,
-			QueryArgs{Owner: j.Owner.String(), CPUs: j.CPUs}, c.cfg.Timeout)
+	queryOnce := func(timeout time.Duration) (QueryReply, *wire.Client, *wire.Breaker, error) {
+		rpc, br := c.connAndBreaker()
+		qs := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseQuery)
+		defer qs.End()
+		if !br.Allow() {
+			// Open breaker: fail locally and fall back immediately, instead
+			// of spending a timeout against a destination known to be down
+			// or drowning. Still counts toward failover.
+			return QueryReply{}, rpc, br, errBreakerOpen
+		}
+		reply, err := wire.CallCtx[QueryArgs, QueryReply](rpc, qs.Context(), MethodQuery,
+			QueryArgs{Owner: j.Owner.String(), CPUs: j.CPUs}, timeout)
 		br.Record(err)
-	} else {
-		// Open breaker: fail locally and fall back immediately, instead
-		// of spending a timeout against a destination known to be down
-		// or drowning. Still counts toward failover.
-		err = errBreakerOpen
+		return reply, rpc, br, err
 	}
-	qs.End()
+	reply, rpc, br, err := queryOnce(c.cfg.Timeout)
+	if errors.Is(err, wire.ErrDraining) && c.failoverNow() {
+		// The bound point is retiring. Nothing was processed, so the
+		// query is safe to re-issue — once, against the new binding, on
+		// the remaining budget — instead of burning this job on random
+		// fallback while healthy peers sit idle.
+		reply, rpc, br, err = queryOnce(c.remaining(start))
+	}
 	c.noteOutcome(err)
 	if err != nil {
 		// Graceful degradation: random site, no USLAs, not handled.
@@ -336,22 +345,27 @@ func (c *Client) Schedule(j *grid.Job) Decision {
 // scheduleSingleCall is the one-round-trip coupling: the decision point
 // selects and records in a single interaction.
 func (c *Client) scheduleSingleCall(j *grid.Job, start time.Time, dec Decision, root *trace.Span) Decision {
-	rpc, br := c.connAndBreaker()
-	qs := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseQuery)
-	var reply ScheduleReply
-	var err error
-	if br.Allow() {
-		reply, err = wire.CallCtx[ScheduleArgs, ScheduleReply](rpc, qs.Context(), MethodSchedule, ScheduleArgs{
+	callOnce := func(timeout time.Duration) (ScheduleReply, error) {
+		rpc, br := c.connAndBreaker()
+		qs := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseQuery)
+		defer qs.End()
+		if !br.Allow() {
+			return ScheduleReply{}, errBreakerOpen
+		}
+		reply, err := wire.CallCtx[ScheduleArgs, ScheduleReply](rpc, qs.Context(), MethodSchedule, ScheduleArgs{
 			JobID:   string(j.ID),
 			Owner:   j.Owner.String(),
 			CPUs:    j.CPUs,
 			Runtime: j.Runtime,
-		}, c.cfg.Timeout)
+		}, timeout)
 		br.Record(err)
-	} else {
-		err = errBreakerOpen
+		return reply, err
 	}
-	qs.End()
+	reply, err := callOnce(c.cfg.Timeout)
+	if errors.Is(err, wire.ErrDraining) && c.failoverNow() {
+		// Retiring point: re-issue once on the new binding (see Schedule).
+		reply, err = callOnce(c.remaining(start))
+	}
 	c.noteOutcome(err)
 	switch {
 	case err != nil:
@@ -476,10 +490,25 @@ func (c *Client) noteOutcome(err error) {
 		c.mu.Unlock()
 		return
 	}
-	// Ring order, exactly as before load awareness existed: advance
-	// failoverIdx past the chosen entry so successive failovers cycle.
-	var next DPRef
-	found := false
+	next, candidates, found := c.pickFailoverLocked()
+	c.mu.Unlock()
+	if !found {
+		return
+	}
+	c.rebindFailover(next, candidates)
+}
+
+// pickFailoverLocked chooses where a failover rebind should go. Caller
+// holds c.mu.
+//
+// Ring order, exactly as before load awareness existed: advance
+// failoverIdx past the chosen entry so successive failovers cycle. The
+// candidates slice (load-aware mode only) holds the distinct non-current
+// entries in list order for the Status probe; the window is capped:
+// failover happens while the client is already failing jobs, and probing
+// a long chain serially against a saturated fleet would cost up to a
+// probe timeout per entry.
+func (c *Client) pickFailoverLocked() (next DPRef, candidates []DPRef, found bool) {
 	for i := 0; i < len(c.cfg.Failover); i++ {
 		ref := c.cfg.Failover[c.failoverIdx%len(c.cfg.Failover)]
 		c.failoverIdx++
@@ -488,11 +517,6 @@ func (c *Client) noteOutcome(err error) {
 			break
 		}
 	}
-	// Distinct candidates in list order, for the load-aware probe. The
-	// window is capped: failover happens while the client is already
-	// failing jobs, and probing a long chain serially against a
-	// saturated fleet would cost up to a probe timeout per entry.
-	var candidates []DPRef
 	if found && c.cfg.LoadAwareFailover {
 		seen := make(map[DPRef]bool, len(c.cfg.Failover))
 		for _, ref := range c.cfg.Failover {
@@ -505,16 +529,38 @@ func (c *Client) noteOutcome(err error) {
 			}
 		}
 	}
-	c.mu.Unlock()
-	if !found {
-		return
-	}
+	return next, candidates, found
+}
+
+// rebindFailover completes a failover: load-probe the candidates when
+// there is a real choice, then rebind.
+func (c *Client) rebindFailover(next DPRef, candidates []DPRef) {
 	if len(candidates) > 1 {
 		if best, ok := c.leastLoaded(candidates); ok {
 			next = best
 		}
 	}
 	c.Rebind(next.Name, next.Node, next.Addr)
+}
+
+// failoverNow rebinds away from the current decision point immediately,
+// bypassing the consecutive-failure threshold — the reaction to a
+// draining refusal, where waiting for more failures would only collect
+// more refusals from a point that already said it is leaving. Reports
+// whether a rebind target existed.
+func (c *Client) failoverNow() bool {
+	c.mu.Lock()
+	if c.closed || len(c.cfg.Failover) == 0 {
+		c.mu.Unlock()
+		return false
+	}
+	next, candidates, found := c.pickFailoverLocked()
+	c.mu.Unlock()
+	if !found {
+		return false
+	}
+	c.rebindFailover(next, candidates)
+	return true
 }
 
 // maxLoadProbes bounds how many failover candidates a load-aware rebind
@@ -563,6 +609,11 @@ func (c *Client) leastLoaded(candidates []DPRef) (best DPRef, ok bool) {
 		probe.Close()
 		if err != nil {
 			br.Record(err)
+			continue
+		}
+		if st.State == StateDraining {
+			// Retiring: it would refuse the very work we are moving. Not a
+			// breaker-worthy failure — the point is healthy, just leaving.
 			continue
 		}
 		load := int64(st.Queued) + st.InFlight

@@ -1,0 +1,331 @@
+package digruber
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"digruber/internal/gruber"
+	"digruber/internal/tsdb"
+	"digruber/internal/vtime"
+	"digruber/internal/wire"
+)
+
+// controllerRig is a Manual-clock fleet whose pressure signal the test
+// drives directly through the controller's ThrottleSeries counter —
+// every Evaluate is an explicit, deterministic step.
+type controllerRig struct {
+	t        *testing.T
+	mem      *wire.Mem
+	clock    *vtime.Manual
+	reg      *tsdb.Registry
+	ctl      *Controller
+	throttle *tsdb.Counter
+}
+
+func newControllerRig(t *testing.T, cfg ControllerConfig) *controllerRig {
+	t.Helper()
+	r := &controllerRig{
+		t:     t,
+		mem:   wire.NewMem(),
+		clock: vtime.NewManual(epoch),
+		reg:   tsdb.New(0),
+	}
+	statuses := testStatuses(100, 100)
+	factory := func(idx int) (*DecisionPoint, error) {
+		dp, err := New(Config{
+			Name: fmt.Sprintf("dp-%d", idx), Addr: fmt.Sprintf("dp-%d", idx),
+			Transport: r.mem, Clock: r.clock, Profile: wire.Instant(),
+			ExchangeInterval: time.Hour, Metrics: r.reg,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dp.Engine().UpdateSites(statuses, r.clock.Now())
+		if err := dp.Start(); err != nil {
+			return nil, err
+		}
+		return dp, nil
+	}
+	first, err := factory(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Clock = r.clock
+	cfg.Factory = factory
+	cfg.Metrics = r.reg
+	cfg.ThrottleSeries = "clients/throttled"
+	r.throttle = r.reg.Counter(cfg.ThrottleSeries)
+	ctl, err := NewController(cfg, []*DecisionPoint{first})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ctl = ctl
+	t.Cleanup(func() {
+		for _, dp := range ctl.Fleet() {
+			dp.Stop()
+		}
+	})
+	return r
+}
+
+// step advances one interval, optionally accrues throttle events at
+// rate/s over it, samples the registry, and runs one Evaluate.
+func (r *controllerRig) step(interval time.Duration, rate float64) (ControllerAction, error) {
+	r.t.Helper()
+	r.clock.Advance(interval)
+	r.throttle.Add(int64(rate * interval.Seconds()))
+	r.reg.Sample(r.clock.Now())
+	return r.ctl.Evaluate()
+}
+
+func fleetNames(ctl *Controller) []string {
+	var out []string
+	for _, dp := range ctl.Fleet() {
+		out = append(out, dp.Name())
+	}
+	return out
+}
+
+func TestControllerScalesUpAndDown(t *testing.T) {
+	iv := time.Minute
+	r := newControllerRig(t, ControllerConfig{
+		Interval: iv, MaxDPs: 3,
+		ScaleUpAfter: 2, ScaleDownAfter: 3,
+		UpCooldown: 2 * iv, DownCooldown: 3 * iv,
+		DrainTimeout: time.Minute,
+		Signals:      SignalThresholds{ThrottleRateHigh: 0.5, Window: 4 * iv},
+	})
+
+	// Warm-up sample so window rates have a baseline point.
+	r.reg.Sample(r.clock.Now())
+
+	// One pressured evaluation is not enough — hysteresis wants two.
+	if act, err := r.step(iv, 2); err != nil || act != ActionNone {
+		t.Fatalf("pass 1: act=%q err=%v, want none (streak 1/2)", act, err)
+	}
+	if act, err := r.step(iv, 2); err != nil || act != ActionScaleUp {
+		t.Fatalf("pass 2: act=%q err=%v, want scale-up", act, err)
+	}
+	if got := fleetNames(r.ctl); len(got) != 2 || got[1] != "dp-1" {
+		t.Fatalf("fleet after scale-up = %v, want [dp-0 dp-1]", got)
+	}
+	// Symmetric mesh: both members see each other.
+	for i, dp := range r.ctl.Fleet() {
+		if peers := dp.Peers(); len(peers) != 1 {
+			t.Fatalf("member %d peers = %v, want exactly one", i, peers)
+		}
+	}
+	if len(r.ctl.Deployments()) != 1 {
+		t.Fatal("deployment not logged")
+	}
+
+	// Still pressured, but inside UpCooldown (2 intervals): no action on
+	// the first post-scale pass even though the streak rebuilds.
+	if act, _ := r.step(iv, 2); act != ActionNone {
+		t.Fatalf("cooldown pass: act=%q, want none", act)
+	}
+	// Cooldown expired, streak rebuilt: the next pressured pass scales.
+	if act, err := r.step(iv, 2); err != nil || act != ActionScaleUp {
+		t.Fatalf("post-cooldown pass: act=%q err=%v, want scale-up", act, err)
+	}
+	if got := len(r.ctl.Fleet()); got != 3 {
+		t.Fatalf("fleet size = %d, want 3", got)
+	}
+
+	// Load vanishes. Idle needs the window rate to read zero, then
+	// ScaleDownAfter consecutive idle passes past DownCooldown. The
+	// 4-interval window still holds old increments for a few passes.
+	var downAt int
+	for i := 1; i <= 12; i++ {
+		act, err := r.step(iv, 0)
+		if err != nil {
+			t.Fatalf("idle pass %d: %v", i, err)
+		}
+		if act == ActionScaleDown {
+			downAt = i
+			break
+		}
+	}
+	if downAt == 0 {
+		t.Fatal("controller never scaled down after load vanished")
+	}
+	// LIFO: the newest member (dp-2) drained and retired; survivors no
+	// longer list it as a peer.
+	got := fleetNames(r.ctl)
+	if len(got) != 2 || got[0] != "dp-0" || got[1] != "dp-1" {
+		t.Fatalf("fleet after scale-down = %v, want [dp-0 dp-1]", got)
+	}
+	for _, dp := range r.ctl.Fleet() {
+		for _, p := range dp.Peers() {
+			if p == "dp-2" {
+				t.Fatalf("%s still lists retired dp-2 as a peer", dp.Name())
+			}
+		}
+	}
+	if len(r.ctl.Retirements()) != 1 {
+		t.Fatal("retirement not logged")
+	}
+
+	// The metrics plane saw it all.
+	if v, _ := r.reg.Latest("fleet/scale_ups"); v.V != 2 {
+		t.Fatalf("scale_ups = %v, want 2", v.V)
+	}
+	r.reg.Sample(r.clock.Now())
+	if v, _ := r.reg.Latest("fleet/size"); v.V != 2 {
+		t.Fatalf("fleet/size gauge = %v, want 2", v.V)
+	}
+}
+
+func TestControllerScaleDownRespectsMinAndMax(t *testing.T) {
+	iv := time.Minute
+	r := newControllerRig(t, ControllerConfig{
+		Interval: iv, MinDPs: 1, MaxDPs: 1,
+		ScaleUpAfter: 1, ScaleDownAfter: 1,
+		UpCooldown: iv / 2, DownCooldown: iv / 2,
+		Signals: SignalThresholds{ThrottleRateHigh: 0.5, Window: 4 * iv},
+	})
+	r.reg.Sample(r.clock.Now())
+
+	// Pressure with the fleet already at MaxDPs: no action.
+	if act, err := r.step(iv, 2); err != nil || act != ActionNone {
+		t.Fatalf("at max: act=%q err=%v, want none", act, err)
+	}
+	// Idle with the fleet already at MinDPs: no action either.
+	for i := 0; i < 6; i++ {
+		if act, err := r.step(iv, 0); err != nil || act != ActionNone {
+			t.Fatalf("at min, pass %d: act=%q err=%v, want none", i, act, err)
+		}
+	}
+	if got := len(r.ctl.Fleet()); got != 1 {
+		t.Fatalf("fleet size = %d, want pinned at 1", got)
+	}
+}
+
+// A drain that cannot finish (victim wedged by an unreachable ghost
+// peer holding unflushed records) must abort: the evaluation reports
+// ActionDrainAbort, the fleet keeps its size, and the victim serves on.
+func TestControllerDrainAbortKeepsVictim(t *testing.T) {
+	iv := time.Minute
+	r := newControllerRig(t, ControllerConfig{
+		Interval: iv, MaxDPs: 2,
+		ScaleUpAfter: 1, ScaleDownAfter: 1,
+		UpCooldown: iv / 2, DownCooldown: iv / 2,
+		DrainTimeout: time.Second,
+		Signals:      SignalThresholds{ThrottleRateHigh: 0.5, Window: 4 * iv},
+	})
+	r.reg.Sample(r.clock.Now())
+
+	if act, err := r.step(iv, 2); err != nil || act != ActionScaleUp {
+		t.Fatalf("scale-up: act=%q err=%v", act, err)
+	}
+	victim := r.ctl.Fleet()[1]
+
+	// Wedge the victim: a local record plus a peer that never answers.
+	victim.Engine().RecordDispatch(gruber.Dispatch{JobID: "wedge", Site: "site-000", CPUs: 1, Runtime: time.Hour, At: r.clock.Now()})
+	victim.AddPeer("ghost", "ghost", "ghost-addr")
+
+	// Age the throttle increments out of the window; these passes still
+	// read a nonzero rate (pressure, but the fleet is at MaxDPs) and take
+	// no action.
+	for i := 0; i < 3; i++ {
+		if act, err := r.step(iv, 0); err != nil || act != ActionNone {
+			t.Fatalf("draining-window pass %d: act=%q err=%v", i, act, err)
+		}
+	}
+
+	// The next idle pass attempts the scale-down and wedges inside the
+	// victim's Drain; under the Manual clock its flush retries sleep in
+	// virtual time, so burn the drain budget from a concurrent advancer
+	// until the abort surfaces.
+	r.clock.Advance(iv)
+	r.reg.Sample(r.clock.Now())
+	type result struct {
+		act ControllerAction
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		a, e := r.ctl.Evaluate()
+		ch <- result{a, e}
+	}()
+	var out result
+	for done := false; !done; {
+		select {
+		case out = <-ch:
+			done = true
+		default:
+			r.clock.Advance(100 * time.Millisecond)
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if out.act != ActionDrainAbort || out.err == nil {
+		t.Fatalf("wedged scale-down: act=%q err=%v, want drain-abort with error", out.act, out.err)
+	}
+	if got := len(r.ctl.Fleet()); got != 2 {
+		t.Fatalf("fleet size after abort = %d, want 2 (victim kept)", got)
+	}
+	if st := victim.LifecycleState(); st != StateServing {
+		t.Fatalf("victim state after abort = %q, want serving", st)
+	}
+	r.reg.Sample(r.clock.Now())
+	if v, _ := r.reg.Latest("fleet/drain_aborts"); v.V != 1 {
+		t.Fatalf("drain_aborts = %v, want 1", v.V)
+	}
+}
+
+// Rebalance: managed clients spread round-robin as the fleet grows, and
+// are pulled off a victim before its drain begins.
+func TestControllerRebalancesClients(t *testing.T) {
+	iv := time.Minute
+	r := newControllerRig(t, ControllerConfig{
+		Interval: iv, MaxDPs: 2,
+		ScaleUpAfter: 1, ScaleDownAfter: 2,
+		UpCooldown: iv / 2, DownCooldown: iv / 2,
+		DrainTimeout: time.Minute,
+		Signals:      SignalThresholds{ThrottleRateHigh: 0.5, Window: 2 * iv},
+	})
+	var clients []*Client
+	for i := 0; i < 4; i++ {
+		c, err := NewClient(ClientConfig{
+			Name: fmt.Sprintf("c%d", i), DPName: "dp-0", DPNode: "dp-0", DPAddr: "dp-0",
+			Transport: r.mem, Clock: r.clock, Timeout: time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		clients = append(clients, c)
+	}
+	r.ctl.ManageClients(clients)
+	r.reg.Sample(r.clock.Now())
+
+	if act, err := r.step(iv, 2); err != nil || act != ActionScaleUp {
+		t.Fatalf("scale-up: act=%q err=%v", act, err)
+	}
+	byDP := map[string]int{}
+	for _, c := range clients {
+		byDP[c.DPName()]++
+	}
+	if byDP["dp-0"] != 2 || byDP["dp-1"] != 2 {
+		t.Fatalf("client spread after scale-up = %v, want 2/2", byDP)
+	}
+
+	// Drain dp-1 away again; every client must end up back on dp-0.
+	for i := 0; i < 12; i++ {
+		if act, err := r.step(iv, 0); err != nil {
+			t.Fatal(err)
+		} else if act == ActionScaleDown {
+			break
+		}
+	}
+	if got := len(r.ctl.Fleet()); got != 1 {
+		t.Fatalf("fleet size = %d, want 1", got)
+	}
+	for _, c := range clients {
+		if c.DPName() != "dp-0" {
+			t.Fatalf("client %s still bound to %s after retirement", c.cfg.Name, c.DPName())
+		}
+	}
+}

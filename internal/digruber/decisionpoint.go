@@ -95,6 +95,7 @@ type DecisionPoint struct {
 	mu        sync.Mutex
 	peers     map[string]*peerLink
 	started   bool
+	draining  bool
 	ticker    vtime.Ticker
 	done      chan struct{}
 	serveDone chan struct{}
@@ -228,6 +229,13 @@ func (dp *DecisionPoint) Detector() *SaturationDetector { return dp.detector }
 
 func (dp *DecisionPoint) registerHandlers() {
 	wire.HandleCtx(dp.server, MethodQuery, func(ctx wire.Ctx, a QueryArgs) (QueryReply, error) {
+		if dp.isDraining() {
+			// New scheduling work is refused while retiring; the refusal is
+			// cheap and unprocessed, so the client fails over and re-issues
+			// elsewhere. Reports (the second half of an interaction already
+			// in flight) and mesh traffic stay accepted.
+			return QueryReply{}, wire.ErrDraining
+		}
 		dp.detector.ObserveArrival()
 		owner, err := usla.ParsePath(a.Owner)
 		if err != nil {
@@ -310,6 +318,9 @@ func (dp *DecisionPoint) registerHandlers() {
 		return reply, nil
 	})
 	wire.HandleCtx(dp.server, MethodSchedule, func(ctx wire.Ctx, a ScheduleArgs) (ScheduleReply, error) {
+		if dp.isDraining() {
+			return ScheduleReply{}, wire.ErrDraining
+		}
 		dp.detector.ObserveArrival()
 		owner, err := usla.ParsePath(a.Owner)
 		if err != nil {
@@ -354,6 +365,10 @@ func (dp *DecisionPoint) Status() StatusReply {
 	es := dp.engine.Stats()
 	dp.mu.Lock()
 	server := dp.server
+	var state string
+	if dp.draining {
+		state = StateDraining
+	}
 	peers := make([]PeerHealth, 0, len(dp.peers))
 	//lint:allow mapiter -- collected slice is sorted by name right below; state.String is a pure label
 	for _, l := range dp.peers {
@@ -387,6 +402,7 @@ func (dp *DecisionPoint) Status() StatusReply {
 		Peers:            peers,
 		At:               dp.cfg.Clock.Now(),
 		Expired:          ss.Expired,
+		State:            state,
 	}
 }
 
@@ -406,6 +422,28 @@ func (dp *DecisionPoint) AddPeer(name, node, addr string) {
 		node:   node,
 		addr:   addr,
 		client: dp.newPeerClient(node, addr),
+	}
+}
+
+// RemovePeer deregisters a peer — the symmetric teardown to AddPeer,
+// used when a fleet member retires. The link's client closes and its
+// health state goes with it, so the departed name never re-enters the
+// suspect/probe churn or holds back local-log compaction. An exchange
+// already in flight to the removed peer finishes against the detached
+// link and is discarded with it. Unknown names are a no-op.
+func (dp *DecisionPoint) RemovePeer(name string) {
+	dp.mu.Lock()
+	l, ok := dp.peers[name]
+	if !ok {
+		dp.mu.Unlock()
+		return
+	}
+	delete(dp.peers, name)
+	client := l.client
+	l.client = nil
+	dp.mu.Unlock()
+	if client != nil {
+		client.Close()
 	}
 }
 
@@ -471,6 +509,7 @@ func (dp *DecisionPoint) Start() error {
 	}
 	dp.listener = l
 	dp.started = true
+	dp.draining = false
 	dp.done = make(chan struct{})
 	dp.serveDone = make(chan struct{})
 	go func(srv *wire.Server, l wire.Listener, served chan struct{}) {
@@ -499,7 +538,13 @@ func (dp *DecisionPoint) exchangeLoop(ticker vtime.Ticker, done chan struct{}) {
 // immediately, returning how many dispatch records were sent. Rounds
 // normally run off the interval ticker; tests and reconfiguration logic
 // call this directly.
-func (dp *DecisionPoint) ExchangeNow() int {
+func (dp *DecisionPoint) ExchangeNow() int { return dp.exchangeNow(false) }
+
+// exchangeNow is ExchangeNow with an override: force contacts even dead
+// peers whose probe backoff has not elapsed. The drain flush uses it —
+// a retiring point must get its last records out (or fail trying) every
+// retry, not sit out a probe interval against a peer that just healed.
+func (dp *DecisionPoint) exchangeNow(force bool) int {
 	now := dp.cfg.Clock.Now()
 	dp.mu.Lock()
 	links := make([]*peerLink, 0, len(dp.peers))
@@ -508,7 +553,7 @@ func (dp *DecisionPoint) ExchangeNow() int {
 		if l.client == nil {
 			continue // stopped
 		}
-		if l.state == peerDead && now.Before(l.nextProbe) {
+		if !force && l.state == peerDead && now.Before(l.nextProbe) {
 			continue // dead; not due for a probe yet
 		}
 		links = append(links, l)

@@ -24,6 +24,11 @@ type dpMetrics struct {
 	resyncImported *tsdb.Counter
 	// roundDur is the per-round wall (virtual) duration in seconds.
 	roundDur *tsdb.Histogram
+	// drains counts Drain calls entered; drainAborts those that timed out
+	// back to serving; retired those that completed through to Stop.
+	drains      *tsdb.Counter
+	drainAborts *tsdb.Counter
+	retired     *tsdb.Counter
 }
 
 // roundDurBuckets spans the mesh-round latencies the emulated stacks
@@ -42,7 +47,19 @@ func (dp *DecisionPoint) registerMetrics(reg *tsdb.Registry) {
 		resyncs:        reg.Counter(p + "mesh/resyncs"),
 		resyncImported: reg.Counter(p + "mesh/resync_imported"),
 		roundDur:       reg.Histogram(p+"mesh/round_s", roundDurBuckets),
+		drains:         reg.Counter(p + "lifecycle/drains"),
+		drainAborts:    reg.Counter(p + "lifecycle/drain_aborts"),
+		retired:        reg.Counter(p + "lifecycle/retired"),
 	}
+
+	// Lifecycle gauge: 1 while draining, 0 otherwise (serving or
+	// stopped — the stopped case is visible as the wire gauges zeroing).
+	reg.GaugeFunc(p+"lifecycle/draining", func(now time.Time) float64 {
+		if dp.isDraining() {
+			return 1
+		}
+		return 0
+	})
 
 	// Service-stack gauges read through the DecisionPoint, not a
 	// captured *wire.Server: restarts build a fresh server, and these

@@ -207,4 +207,20 @@ type StatusReply struct {
 	// (wire.Stats.Expired). Zero on pre-overload builds and elided from
 	// the encoding when zero.
 	Expired int64
+	// State is the decision point's lifecycle state: empty while serving
+	// (the steady state, elided from the encoding so replies stay
+	// byte-identical to pre-lifecycle builds) and StateDraining while the
+	// point is retiring from the fleet. A stopped point cannot answer
+	// Status at all, so "stopped" never appears on the wire — monitors
+	// infer it from the poll failing. Appended after Expired, like every
+	// extension field.
+	State string
 }
+
+// Lifecycle states a decision point advertises in StatusReply.State.
+// StateServing is what the empty string means; it is never encoded.
+const (
+	StateServing  = "serving"
+	StateDraining = "draining"
+	StateStopped  = "stopped"
+)

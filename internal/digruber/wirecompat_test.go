@@ -259,6 +259,105 @@ func TestStatusExpiredWireCompat(t *testing.T) {
 	}
 }
 
+// StatusReplyV6 is the overload-era reply shape (PR 5/6): fields
+// through Expired, the lifecycle State label not yet appended.
+type StatusReplyV6 struct {
+	Name             string
+	Queries          int64
+	LocalDispatches  int64
+	RemoteDispatches int64
+	Received         int64
+	Completed        int64
+	Shed             int64
+	ConnLost         int64
+	InFlight         int64
+	Queued           int
+	Saturated        bool
+	ObservedRate     float64
+	CapacityRate     float64
+	Peers            []PeerHealth
+	At               time.Time
+	Metrics          []MetricSample
+	Expired          int64
+}
+
+func v6Reply() StatusReplyV6 {
+	return StatusReplyV6{
+		Name: "dp-0", Queries: 42, LocalDispatches: 7, RemoteDispatches: 3,
+		Received: 50, Completed: 48, Shed: 1, ConnLost: 1, InFlight: 2, Queued: 4,
+		Saturated: true, ObservedRate: 2.5, CapacityRate: 2.0,
+		Peers: []PeerHealth{
+			{Name: "dp-1", State: "alive"},
+			{Name: "dp-2", State: "dead", ConsecutiveFails: 5},
+		},
+		At:      compatEpoch.Add(17 * time.Minute),
+		Metrics: []MetricSample{{Name: "dp/dp-0/wire/inflight", V: 2}},
+		Expired: 9,
+	}
+}
+
+// TestStatusStateWireCompat extends the append-only gate to the
+// lifecycle State field: a serving reply (State empty) encodes
+// byte-identically to the pre-lifecycle PR-5 shape, and the field costs
+// bytes only while the broker is actually draining.
+func TestStatusStateWireCompat(t *testing.T) {
+	cur := newReply()
+	cur.Metrics = []digruber.MetricSample{{Name: "dp/dp-0/wire/inflight", V: 2}}
+	cur.Expired = 9
+	oldMsg := primedEncode(t, StatusReplyV6{Name: "p"}, v6Reply())
+	newMsg := primedEncode(t, digruber.StatusReply{Name: "p"}, cur)
+	if old, new := valueBody(t, oldMsg), valueBody(t, newMsg); !bytes.Equal(old, new) {
+		t.Fatalf("serving reply value encoding changed:\n old %x\n new %x", old, new)
+	}
+
+	draining := cur
+	draining.State = digruber.StateDraining
+	extended := primedEncode(t, digruber.StatusReply{Name: "p"}, draining)
+	if bytes.Equal(valueBody(t, newMsg), valueBody(t, extended)) {
+		t.Fatal("setting State did not change the encoding")
+	}
+}
+
+// TestStatusStateCrossDecode: PR-5-era and current shapes interoperate
+// in both directions around the State field — an old monitor polling a
+// draining broker simply never sees the label.
+func TestStatusStateCrossDecode(t *testing.T) {
+	// Old sender → new receiver: State stays empty, i.e. serving.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v6Reply()); err != nil {
+		t.Fatal(err)
+	}
+	var got digruber.StatusReply
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	want := newReply()
+	want.Metrics = []digruber.MetricSample{{Name: "dp/dp-0/wire/inflight", V: 2}}
+	want.Expired = 9
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v6→new decode mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if got.State != "" {
+		t.Fatalf("v6 reply decoded State=%q, want serving (empty)", got.State)
+	}
+
+	// New draining sender → old receiver: the label is dropped,
+	// everything else survives.
+	draining := want
+	draining.State = digruber.StateDraining
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(draining); err != nil {
+		t.Fatal(err)
+	}
+	var old StatusReplyV6
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old, v6Reply()) {
+		t.Fatalf("new→v6 decode mismatch:\n got %+v\nwant %+v", old, v6Reply())
+	}
+}
+
 // TestStatusExpiredCrossDecode: PR-4 and current shapes interoperate in
 // both directions around the Expired field.
 func TestStatusExpiredCrossDecode(t *testing.T) {

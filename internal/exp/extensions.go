@@ -39,6 +39,7 @@ func extensionExperiments() []Experiment {
 		{ID: "ext-failure", Title: "Extension: broker crash-recovery under a seeded fault plane", Run: runFailureExtension},
 		{ID: "ext-divergence", Title: "Extension: view divergence vs scheduling accuracy (metrics plane)", Run: runDivergence},
 		{ID: "ext-overload", Title: "Extension: end-to-end overload control under saturation", Run: runOverloadExtension},
+		{ID: "ext-elastic", Title: "Extension: elastic fleet controller with graceful drain", Run: runElasticExtension},
 	}
 }
 

@@ -368,6 +368,18 @@ func (e *Engine) LocalDispatchesAfter(cursor uint64) ([]Dispatch, uint64) {
 	return out, e.localDropped + uint64(len(e.local))
 }
 
+// LocalSeqHighWater returns the sequence number of the newest local
+// dispatch record (0 when none has ever been recorded). A peer whose
+// exchange cursor has reached this value holds everything this engine
+// ever observed locally — the completeness proof a draining decision
+// point needs before it may stop: its final flush is done only when
+// every peer's acknowledged cursor is at or past this mark.
+func (e *Engine) LocalSeqHighWater() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.localDropped + uint64(len(e.local))
+}
+
 // CompactLocalBefore drops local dispatch records with sequence numbers
 // at or below cursor, bounding memory across long runs. Callers pass the
 // lowest cursor acknowledged by any peer: those records are never needed

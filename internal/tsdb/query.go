@@ -122,6 +122,45 @@ func Rate(pts []Point) []Point {
 	return out
 }
 
+// WindowRate returns the mean per-second rate of a cumulative series
+// (a sampled Counter) over the trailing window ending at now, computed
+// end-to-end across the window rather than averaged per-interval so
+// uneven sampling cannot skew it. Fewer than two points in the window —
+// or a counter reset (negative delta, e.g. a broker restart) — yield 0:
+// the signal reads "no evidence of activity", never a negative rate.
+// This is the scaling controller's load-signal primitive (shed, expired
+// and throttle rates).
+func (r *Registry) WindowRate(name string, now time.Time, window time.Duration) float64 {
+	pts := r.Range(name, now.Add(-window), now)
+	if len(pts) < 2 {
+		return 0
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	dt := last.T.Sub(first.T).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	dv := last.V - first.V
+	if dv < 0 {
+		dv = 0
+	}
+	return dv / dt
+}
+
+// WindowMean returns the mean of a series over the trailing window
+// ending at now (0 with no points) — the smoothed form of a sampled
+// gauge, for signals like queue depth where a single spiky sample
+// should not trigger a scaling action by itself.
+func (r *Registry) WindowMean(name string, now time.Time, window time.Duration) float64 {
+	return Mean(r.Range(name, now.Add(-window), now))
+}
+
+// WindowMax returns the largest value of a series over the trailing
+// window ending at now (0 with no points).
+func (r *Registry) WindowMax(name string, now time.Time, window time.Duration) float64 {
+	return Max(r.Range(name, now.Add(-window), now))
+}
+
 // Mean returns the arithmetic mean of the points' values (0 for none).
 func Mean(pts []Point) float64 {
 	if len(pts) == 0 {

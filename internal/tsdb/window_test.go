@@ -1,0 +1,74 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWindowRate(t *testing.T) {
+	r := New(0)
+	c := r.Counter("jobs")
+	t0 := time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		c.Add(60) // 1/s at one sample per minute
+		r.Sample(t0.Add(time.Duration(i) * time.Minute))
+	}
+	now := t0.Add(4 * time.Minute)
+
+	// Full window: (300-60)/240s = 1/s.
+	if got := r.WindowRate("jobs", now, 4*time.Minute); got != 1 {
+		t.Fatalf("WindowRate full = %v, want 1", got)
+	}
+	// Narrow window sees only the last two points: still 1/s.
+	if got := r.WindowRate("jobs", now, time.Minute); got != 1 {
+		t.Fatalf("WindowRate narrow = %v, want 1", got)
+	}
+	// A window holding fewer than two points has no rate evidence.
+	if got := r.WindowRate("jobs", now, 30*time.Second); got != 0 {
+		t.Fatalf("WindowRate single-point = %v, want 0", got)
+	}
+	if got := r.WindowRate("missing", now, time.Minute); got != 0 {
+		t.Fatalf("WindowRate missing series = %v, want 0", got)
+	}
+}
+
+func TestWindowRateClampsCounterReset(t *testing.T) {
+	r := New(0)
+	g := r.Gauge("restarting")
+	t0 := time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+	g.Set(100)
+	r.Sample(t0)
+	g.Set(5) // a restart: the cumulative value fell
+	r.Sample(t0.Add(time.Minute))
+	if got := r.WindowRate("restarting", t0.Add(time.Minute), 2*time.Minute); got != 0 {
+		t.Fatalf("rate across a reset = %v, want clamped 0", got)
+	}
+}
+
+func TestWindowMeanAndMax(t *testing.T) {
+	r := New(0)
+	g := r.Gauge("queue")
+	t0 := time.Date(2005, 11, 12, 0, 0, 0, 0, time.UTC)
+	for i, v := range []float64{2, 4, 12, 6} {
+		g.Set(v)
+		r.Sample(t0.Add(time.Duration(i) * time.Minute))
+	}
+	now := t0.Add(3 * time.Minute)
+
+	if got := r.WindowMean("queue", now, 3*time.Minute); got != 6 {
+		t.Fatalf("WindowMean = %v, want 6", got)
+	}
+	// Trailing window excludes the early samples.
+	if got := r.WindowMean("queue", now, time.Minute); got != 9 {
+		t.Fatalf("WindowMean narrow = %v, want 9", got)
+	}
+	if got := r.WindowMax("queue", now, 3*time.Minute); got != 12 {
+		t.Fatalf("WindowMax = %v, want 12", got)
+	}
+	if got := r.WindowMax("queue", now, 30*time.Second); got != 6 {
+		t.Fatalf("WindowMax narrow = %v, want 6", got)
+	}
+	if got := r.WindowMean("missing", now, time.Minute); got != 0 {
+		t.Fatalf("WindowMean missing = %v, want 0", got)
+	}
+}

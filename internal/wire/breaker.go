@@ -153,6 +153,10 @@ func (b *Breaker) Record(err error) {
 	case FailureClosed:
 		// Locally-closed client: says nothing about the far end.
 		return
+	case FailureDraining:
+		// A draining refusal is proof of life, not failure: the far end
+		// answered, it is just retiring. Failover owns the reaction; the
+		// breaker treats it like any successful contact.
 	}
 	b.mu.Lock()
 	var notify func()

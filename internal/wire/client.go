@@ -337,6 +337,11 @@ func (c *Client) attemptCall(ctx trace.SpanContext, method string, body []byte, 
 				return nil, ErrOverloaded
 			case f.Err == ErrExpired.Error():
 				return nil, ErrExpired
+			case f.Err == ErrDraining.Error():
+				// A draining decision point's refusal travels as an
+				// application error string; map it back to the sentinel so
+				// Classify (and the failover layer) can see it.
+				return nil, ErrDraining
 			case strings.HasPrefix(f.Err, connLostPrefix):
 				return nil, fmt.Errorf("%w: %s", ErrConnLost, strings.TrimPrefix(f.Err, connLostPrefix))
 			}

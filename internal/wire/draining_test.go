@@ -1,0 +1,55 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"digruber/internal/vtime"
+)
+
+// A handler's ErrDraining refusal must come back as the sentinel (not a
+// bare string error), so Classify and the failover layer above see
+// FailureDraining.
+func TestDrainingCrossesWireAsSentinel(t *testing.T) {
+	srv, cli := newPair(t, Instant(), nil, vtime.NewReal())
+	Handle(srv, "refuse", func(r echoReq) (echoResp, error) {
+		return echoResp{}, ErrDraining
+	})
+	_, err := Call[echoReq, echoResp](cli, "refuse", echoReq{Msg: "x"}, time.Second)
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("err = %v, want ErrDraining", err)
+	}
+	if c := Classify(err); c != FailureDraining {
+		t.Fatalf("Classify = %v, want FailureDraining", c)
+	}
+}
+
+func TestClassifyDraining(t *testing.T) {
+	if c := Classify(ErrDraining); c != FailureDraining {
+		t.Fatalf("Classify(ErrDraining) = %v", c)
+	}
+	if s := FailureDraining.String(); s != "draining" {
+		t.Fatalf("FailureDraining.String() = %q", s)
+	}
+}
+
+// The wire retry loop must not burn attempts (or budget) against a
+// draining server: the same address keeps refusing until it stops, so
+// the refusal surfaces immediately for the failover layer.
+func TestRetryPolicySkipsDraining(t *testing.T) {
+	srv, cli := newPair(t, Instant(), nil, vtime.NewReal())
+	calls := 0
+	Handle(srv, "refuse", func(r echoReq) (echoResp, error) {
+		calls++
+		return echoResp{}, ErrDraining
+	})
+	cli.retry = RetryPolicy{Attempts: 3}
+	_, err := Call[echoReq, echoResp](cli, "refuse", echoReq{Msg: "x"}, time.Second)
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("err = %v, want ErrDraining", err)
+	}
+	if calls != 1 {
+		t.Fatalf("handler called %d times, want 1 (no wire-level retry)", calls)
+	}
+}

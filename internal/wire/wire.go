@@ -54,6 +54,14 @@ var (
 	// caller has (or is about to) time out, so processing would only burn
 	// a container worker on an answer nobody is waiting for.
 	ErrExpired = errors.New("wire: request expired")
+	// ErrDraining reports that the far end is a decision point in its
+	// Draining lifecycle state: it refused the request without processing
+	// it because it is retiring from the fleet. The refusal is safe to
+	// retry — nothing executed — but pointless against the same address
+	// (the drain only ends in a stop), so the RetryPolicy never retries
+	// it; the failover layer above re-runs the interaction against a
+	// different decision point instead.
+	ErrDraining = errors.New("wire: decision point draining")
 )
 
 // FailureClass partitions call errors for failover and retry logic.
@@ -80,6 +88,11 @@ const (
 	// timeout owns what happens next, so — like FailureTimeout — it is
 	// never retried.
 	FailureExpired
+	// FailureDraining is a request a retiring decision point refused
+	// unprocessed (ErrDraining). Safe to re-issue, but only somewhere
+	// else: the same address will keep refusing until it stops, so the
+	// wire retry loop skips it and failover handles the re-issue.
+	FailureDraining
 )
 
 // String names the class.
@@ -99,6 +112,8 @@ func (c FailureClass) String() string {
 		return "closed"
 	case FailureExpired:
 		return "expired"
+	case FailureDraining:
+		return "draining"
 	default:
 		return "other"
 	}
@@ -121,6 +136,8 @@ func Classify(err error) FailureClass {
 		return FailureClosed
 	case errors.Is(err, ErrExpired):
 		return FailureExpired
+	case errors.Is(err, ErrDraining):
+		return FailureDraining
 	default:
 		return FailureOther
 	}
