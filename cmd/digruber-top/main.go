@@ -236,6 +236,17 @@ func record(brokers []*broker, metrics *wire.ClientMetrics, reg *tsdb.Registry, 
 				gauge(p + series).Set(v)
 			}
 		}
+		// Gossip dissemination and wire-traffic series, when the broker
+		// runs the gossip strategy and the byte-accounting plane.
+		for _, series := range []string{
+			"gossip/view_size", "gossip/pulled", "gossip/relayed",
+			"gossip/duplicates", "gossip/resets",
+			"wire/bytes_in", "wire/bytes_out",
+		} {
+			if v, ok := metric(st, "dp/"+st.Name+"/"+series); ok {
+				gauge(p + strings.ReplaceAll(series, "/", "_")).Set(v)
+			}
+		}
 	}
 	serving, draining, stopped := fleetStates(brokers)
 	gauge("top/fleet/size").Set(float64(serving + draining))
@@ -282,13 +293,13 @@ func render(w *os.File, brokers []*broker, metrics *wire.ClientMetrics, plain bo
 	serving, draining, stopped := fleetStates(brokers)
 	fmt.Fprintf(w, "digruber-top — fleet %d: %d serving, %d draining, %d stopped; %d polls throttled\n",
 		serving+draining, serving, draining, stopped, metrics.Stats().Throttled)
-	fmt.Fprintf(w, "%-10s %-9s %9s %8s %8s %6s %6s %8s %8s %8s %12s %-12s\n",
-		"NAME", "STATE", "BRK", "RATE", "CAP", "INFL", "QUEUE", "SHED", "EXPIRED", "LOST", "DIVERGENCE", "PEERS a/s/d")
+	fmt.Fprintf(w, "%-10s %-9s %9s %8s %8s %6s %6s %8s %8s %8s %12s %6s %8s %-12s\n",
+		"NAME", "STATE", "BRK", "RATE", "CAP", "INFL", "QUEUE", "SHED", "EXPIRED", "LOST", "DIVERGENCE", "VIEW", "RELAYED", "PEERS a/s/d")
 	for _, b := range brokers {
 		brk := b.breaker.State().String()
 		if !b.up {
-			fmt.Fprintf(w, "%-10s %-9s %9s %8s %8s %6s %6s %8s %8s %8s %12s %-12s\n",
-				b.name, digruber.StateStopped, brk, "-", "-", "-", "-", "-", "-", "-", "-", "-")
+			fmt.Fprintf(w, "%-10s %-9s %9s %8s %8s %6s %6s %8s %8s %8s %12s %6s %8s %-12s\n",
+				b.name, digruber.StateStopped, brk, "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-")
 			continue
 		}
 		st := b.last
@@ -299,6 +310,16 @@ func render(w *os.File, brokers []*broker, metrics *wire.ClientMetrics, plain bo
 		div := "-"
 		if v, ok := metric(st, "dp/"+st.Name+"/engine/divergence_l1"); ok {
 			div = fmt.Sprintf("%.1f", v)
+		}
+		// Gossip columns: partial-view size and third-party records
+		// relayed. "-" for brokers on the full-mesh strategy (they never
+		// publish gossip series).
+		view, relayed := "-", "-"
+		if v, ok := metric(st, "dp/"+st.Name+"/gossip/view_size"); ok {
+			view = fmt.Sprintf("%.0f", v)
+		}
+		if v, ok := metric(st, "dp/"+st.Name+"/gossip/relayed"); ok {
+			relayed = fmt.Sprintf("%.0f", v)
 		}
 		alive, suspect, dead := 0, 0, 0
 		for _, ph := range st.Peers {
@@ -311,10 +332,10 @@ func render(w *os.File, brokers []*broker, metrics *wire.ClientMetrics, plain bo
 				dead++
 			}
 		}
-		fmt.Fprintf(w, "%-10s %-9s %9s %8.2f %8.2f %6d %6d %8d %8d %8d %12s %d/%d/%d\n",
+		fmt.Fprintf(w, "%-10s %-9s %9s %8.2f %8.2f %6d %6d %8d %8d %8d %12s %6s %8s %d/%d/%d\n",
 			b.name, state, brk, st.ObservedRate, st.CapacityRate,
 			st.InFlight, st.Queued, st.Shed, st.Expired, st.ConnLost, div,
-			alive, suspect, dead)
+			view, relayed, alive, suspect, dead)
 	}
 	if plain {
 		fmt.Fprintln(w)

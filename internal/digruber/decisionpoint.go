@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"digruber/internal/gossip"
 	"digruber/internal/gruber"
 	"digruber/internal/netsim"
 	"digruber/internal/trace"
@@ -36,6 +37,9 @@ type Config struct {
 	ExchangeInterval time.Duration
 	// Strategy selects what is disseminated.
 	Strategy DisseminationStrategy
+	// Gossip tunes the Gossip strategy (fanout, view cap, batch bound,
+	// sampling seed); ignored under the other strategies.
+	Gossip GossipConfig
 	// PeerTimeout bounds each peer exchange call.
 	PeerTimeout time.Duration
 	// Saturation configures the self-saturation detector; zero values
@@ -79,6 +83,7 @@ func (c *Config) setDefaults() error {
 		c.Saturation.Workers = c.Profile.Workers()
 	}
 	c.Saturation.setDefaults()
+	c.Gossip.setDefaults()
 	return nil
 }
 
@@ -91,6 +96,10 @@ type DecisionPoint struct {
 	listener wire.Listener
 	detector *SaturationDetector
 	metrics  *dpMetrics
+	// view is the gossip membership view, maintained alongside peers by
+	// AddPeer/RemovePeer (it has its own lock and caps the active subset
+	// internally). Only the Gossip strategy samples it.
+	view *gossip.View
 
 	mu        sync.Mutex
 	peers     map[string]*peerLink
@@ -99,9 +108,17 @@ type DecisionPoint struct {
 	ticker    vtime.Ticker
 	done      chan struct{}
 	serveDone chan struct{}
-	rounds    int       // exchange rounds completed
+	rounds    int       // exchange (or gossip) rounds completed
 	sentRecs  int       // dispatch records sent to peers
 	lastRound time.Time // completion time of the last exchange round
+	// gossipRound numbers gossip rounds monotonically; it seeds each
+	// round's deterministic peer draw and is never reset (a replayed run
+	// counts the same rounds, so it draws the same peers).
+	gossipRound uint64
+	// Gossip round accounting (see metrics.go gauges).
+	gossipPulled     int // records pulled via reply halves
+	gossipRelayed    int // third-party records stored (transitive relay)
+	gossipDuplicates int // records the version vector already covered
 }
 
 type peerLink struct {
@@ -114,6 +131,11 @@ type peerLink struct {
 	// lastSent is the highest engine sequence number this peer has
 	// acknowledged; the next round resends everything after it.
 	lastSent uint64
+	// ackVV is the peer's last-advertised version vector (gossip digest):
+	// everything it holds, by origin. The gossip push is diffed against
+	// it and compaction takes the per-origin minimum across all links.
+	// Nil until the first exchange with this peer.
+	ackVV map[string]uint64
 	// Health: consecutive exchange failures drive alive → suspect → dead;
 	// dead peers are only probed after a growing backoff, so one crashed
 	// peer stops costing every round a full PeerTimeout.
@@ -189,6 +211,7 @@ func New(cfg Config) (*DecisionPoint, error) {
 		engine:   gruber.NewEngine(cfg.Name, cfg.Policies, cfg.Clock),
 		detector: NewSaturationDetector(cfg.Saturation, cfg.Clock),
 		peers:    make(map[string]*peerLink),
+		view:     gossip.NewView(cfg.Name, cfg.Gossip.Seed, cfg.Gossip.ViewSize),
 	}
 	dp.engine.SetTracer(cfg.Tracer)
 	dp.server = dp.newServer()
@@ -209,7 +232,7 @@ func (dp *DecisionPoint) newServer() *wire.Server {
 	s := wire.NewServer(dp.cfg.Node, dp.cfg.Profile, dp.cfg.Clock)
 	s.SetTracer(dp.cfg.Tracer)
 	if dp.cfg.MeshLane > 0 {
-		s.ReserveLane(dp.cfg.MeshLane, meshLaneQueue, MethodExchange, MethodStatus, MethodSnapshot)
+		s.ReserveLane(dp.cfg.MeshLane, meshLaneQueue, MethodExchange, MethodGossip, MethodStatus, MethodSnapshot)
 	}
 	return s
 }
@@ -265,6 +288,7 @@ func (dp *DecisionPoint) registerHandlers() {
 		}
 		return ExchangeReply{Merged: merged}, nil
 	})
+	wire.HandleCtx(dp.server, MethodGossip, dp.handleGossip)
 	wire.Handle(dp.server, MethodStatus, func(a StatusArgs) (StatusReply, error) {
 		st := dp.Status()
 		if a.WithMetrics {
@@ -423,6 +447,7 @@ func (dp *DecisionPoint) AddPeer(name, node, addr string) {
 		addr:   addr,
 		client: dp.newPeerClient(node, addr),
 	}
+	dp.view.Add(gossip.Member{Name: name, Node: node, Addr: addr})
 }
 
 // RemovePeer deregisters a peer — the symmetric teardown to AddPeer,
@@ -439,6 +464,7 @@ func (dp *DecisionPoint) RemovePeer(name string) {
 		return
 	}
 	delete(dp.peers, name)
+	dp.view.Remove(name)
 	client := l.client
 	l.client = nil
 	dp.mu.Unlock()
@@ -534,11 +560,22 @@ func (dp *DecisionPoint) exchangeLoop(ticker vtime.Ticker, done chan struct{}) {
 	}
 }
 
-// ExchangeNow performs one synchronization round with every peer
-// immediately, returning how many dispatch records were sent. Rounds
-// normally run off the interval ticker; tests and reconfiguration logic
-// call this directly.
-func (dp *DecisionPoint) ExchangeNow() int { return dp.exchangeNow(false) }
+// ExchangeNow performs one synchronization round immediately —
+// full-mesh flood or sampled gossip, per the configured strategy —
+// returning how many dispatch records were sent. Rounds normally run
+// off the interval ticker; tests and reconfiguration logic call this
+// directly.
+func (dp *DecisionPoint) ExchangeNow() int { return dp.syncNow(false) }
+
+// syncNow dispatches one synchronization round to the configured
+// strategy's implementation; force is passed through (contact even
+// dead-and-backed-off peers — the drain flush's mode).
+func (dp *DecisionPoint) syncNow(force bool) int {
+	if dp.cfg.Strategy == Gossip {
+		return dp.gossipNow(force)
+	}
+	return dp.exchangeNow(force)
+}
 
 // exchangeNow is ExchangeNow with an override: force contacts even dead
 // peers whose probe backoff has not elapsed. The drain flush uses it —
@@ -697,6 +734,7 @@ func (dp *DecisionPoint) Crash() {
 	//lint:allow mapiter -- per-peer state reset with no cross-peer reads; order cannot matter
 	for _, l := range dp.peers {
 		l.lastSent = 0
+		l.ackVV = nil
 		l.markAliveLocked()
 	}
 	dp.mu.Unlock()

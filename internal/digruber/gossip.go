@@ -1,0 +1,238 @@
+package digruber
+
+import (
+	"sort"
+	"sync"
+
+	"digruber/internal/gossip"
+	"digruber/internal/trace"
+	"digruber/internal/wire"
+)
+
+// The Gossip dissemination strategy (strategy.go) replaces the full-mesh
+// flood with peer-sampling push-pull rounds. Each round this decision
+// point draws fanout-k peers from its membership view with a seeded
+// deterministic shuffle (gossip.View.Sample), sends each its
+// version-vector digest plus the records that peer's last-acknowledged
+// vector lacked, and merges the records the peer's reply digest proved
+// this side lacked. Third-party records relay transitively through the
+// per-origin logs (gruber.MergeGossip), so a sparse sampled graph still
+// converges — in O(log N) rounds with high probability — while per-point
+// traffic tracks the fanout, not the fleet size.
+
+// GossipConfig tunes the Gossip dissemination strategy; zero values get
+// defaults from the gossip package.
+type GossipConfig struct {
+	// Fanout is how many sampled peers one round contacts
+	// (gossip.DefaultFanout when 0).
+	Fanout int
+	// ViewSize caps the active membership subset this point gossips
+	// with; 0 means the whole peer set stays active. Capping bounds
+	// per-point link state at very large fleets while the per-point rank
+	// permutation keeps the union of subgraphs connected.
+	ViewSize int
+	// MaxRecords bounds the dispatch records one message carries
+	// (gossip.DefaultMaxRecords when 0).
+	MaxRecords int
+	// Seed drives peer sampling and view ranking. Fleets replay
+	// byte-identically under a Manual clock for a fixed seed.
+	Seed int64
+}
+
+func (g *GossipConfig) setDefaults() {
+	if g.Fanout <= 0 {
+		g.Fanout = gossip.DefaultFanout
+	}
+	if g.MaxRecords <= 0 {
+		g.MaxRecords = gossip.DefaultMaxRecords
+	}
+}
+
+// selfMember describes this decision point for membership piggybacking.
+func (dp *DecisionPoint) selfMember() gossip.Member {
+	return gossip.Member{Name: dp.cfg.Name, Node: dp.cfg.Node, Addr: dp.cfg.Addr}
+}
+
+// gossipNow runs one gossip round: sample, push-pull with each target
+// concurrently, then advance the compaction floor. force (the drain
+// flush) contacts every known peer instead of a sample and ignores
+// probe backoff, exactly like exchangeNow's force. Returns the number
+// of records pushed.
+func (dp *DecisionPoint) gossipNow(force bool) int {
+	now := dp.cfg.Clock.Now()
+	dp.mu.Lock()
+	round := dp.gossipRound
+	dp.gossipRound++
+	dp.mu.Unlock()
+
+	var targets []gossip.Member
+	if force {
+		targets = dp.view.All()
+	} else {
+		targets = dp.view.Sample(round, dp.cfg.Gossip.Fanout)
+	}
+
+	dp.mu.Lock()
+	links := make([]*peerLink, 0, len(targets))
+	for _, m := range targets {
+		l := dp.peers[m.Name]
+		if l == nil || l.client == nil {
+			continue // removed or stopped
+		}
+		if !force && l.state == peerDead && now.Before(l.nextProbe) {
+			continue // dead; not due for a probe yet
+		}
+		links = append(links, l)
+	}
+	timeout := dp.cfg.PeerTimeout
+	dp.mu.Unlock()
+	sort.Slice(links, func(i, j int) bool { return links[i].name < links[j].name })
+
+	// Membership piggyback: self plus this round's targets — bounded by
+	// the fanout, so the payload does not grow with the fleet.
+	members := append([]gossip.Member{dp.selfMember()}, targets...)
+	digest := gossip.Cursors(dp.engine.OriginVector())
+
+	tr := dp.cfg.Tracer.StartTrace(trace.PhaseMeshRound)
+	sent := 0
+	type outcome struct {
+		link  *peerLink
+		span  *trace.Span
+		reply GossipReply
+		err   error
+	}
+	outcomes := make([]*outcome, 0, len(links))
+	var wg sync.WaitGroup
+	for _, link := range links {
+		dp.mu.Lock()
+		client := link.client
+		ackVV := link.ackVV
+		dp.mu.Unlock()
+		if client == nil {
+			continue // Stop raced us
+		}
+		// The push is diffed against this peer's last-acknowledged
+		// vector; a failed or never-contacted peer has a nil vector and
+		// gets everything (up to the batch bound).
+		push := dp.engine.DispatchesSince(ackVV, dp.cfg.Gossip.MaxRecords)
+		args := GossipArgs{
+			From:    dp.cfg.Name,
+			Round:   round,
+			Digest:  digest,
+			Records: push,
+			Members: members,
+		}
+		ex := dp.cfg.Tracer.StartSpan(tr.Context(), trace.PhaseMeshExchange)
+		ex.SetNote(link.name)
+		o := &outcome{link: link, span: ex}
+		outcomes = append(outcomes, o)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			o.reply, o.err = wire.CallCtx[GossipArgs, GossipReply](client, ex.Context(), MethodGossip, args, timeout)
+		}()
+		sent += len(push)
+	}
+	// Only the calls run concurrently. Replies are merged after the
+	// barrier, in link-name order, so a round's merges — and with them
+	// the relay/duplicate accounting — are deterministic under a Manual
+	// clock regardless of reply arrival order.
+	wg.Wait()
+	for _, o := range outcomes {
+		if o.err != nil {
+			o.span.End()
+			dp.mu.Lock()
+			dp.peerFailedLocked(o.link, dp.cfg.Clock.Now())
+			dp.mu.Unlock()
+			// The push is recomputed against the unchanged ackVV next time
+			// this peer is sampled; the receiver-side vector and JobID
+			// dedup make retransmission harmless.
+			continue
+		}
+		// The pull: records the peer held that our digest lacked.
+		st := dp.engine.MergeGossipCtx(o.span.Context(), o.link.name, o.reply.Records)
+		o.span.End()
+		dp.mu.Lock()
+		dp.peerAliveLocked(o.link)
+		// The reply digest is the peer's post-merge state: the ack basis
+		// for the next push diff, for compaction, and — via its
+		// self-origin entry — for the drain flush's completeness proof.
+		o.link.ackVV = gossip.Vector(o.reply.Digest)
+		if self := gossip.Seq(o.reply.Digest, dp.cfg.Name); self > o.link.lastSent {
+			o.link.lastSent = self
+		}
+		dp.gossipPulled += len(o.reply.Records)
+		dp.gossipRelayed += st.Relayed
+		dp.gossipDuplicates += st.Duplicates
+		dp.mu.Unlock()
+		dp.metrics.gossipResets.Add(int64(st.Resets))
+	}
+	tr.End()
+	end := dp.cfg.Clock.Now()
+	dp.metrics.roundDur.Observe(end.Sub(now).Seconds())
+
+	// Compaction floor: for every origin this engine holds, the minimum
+	// sequence acknowledged across the whole view. A peer never heard
+	// from has a nil vector and pins every origin at zero — conservative,
+	// and exactly why departed peers must be removed from the view
+	// (RemovePeer) rather than compacted around.
+	vv := dp.engine.OriginVector()
+	origins := make([]string, 0, len(vv))
+	//lint:allow mapiter -- collected slice is sorted right below
+	for origin := range vv {
+		origins = append(origins, origin)
+	}
+	sort.Strings(origins)
+	dp.mu.Lock()
+	dp.rounds++
+	dp.sentRecs += sent
+	dp.lastRound = end
+	acked := make(map[string]uint64, len(origins))
+	for _, name := range dp.peerNamesLocked() {
+		gossip.MinAcked(acked, dp.peers[name].ackVV, origins)
+	}
+	hasPeers := len(dp.peers) > 0
+	dp.mu.Unlock()
+	if hasPeers {
+		dp.engine.CompactOrigins(acked)
+	}
+	return sent
+}
+
+// handleGossip serves one inbound push-pull exchange: merge the push,
+// learn new members, and reply with the post-merge digest plus the
+// records the sender's digest was missing.
+func (dp *DecisionPoint) handleGossip(ctx wire.Ctx, a GossipArgs) (GossipReply, error) {
+	dp.markPeerAlive(a.From)
+	for _, m := range a.Members {
+		if m.Name == "" || m.Name == dp.cfg.Name {
+			continue
+		}
+		dp.AddPeer(m.Name, m.Node, m.Addr) // no-op for known names
+	}
+	st := dp.engine.MergeGossipCtx(ctx.Span, a.From, a.Records)
+	// The sender's digest covers everything it holds (push included), so
+	// it doubles as this side's acknowledged vector for that link.
+	senderVV := gossip.Vector(a.Digest)
+	dp.mu.Lock()
+	if l, ok := dp.peers[a.From]; ok {
+		l.ackVV = senderVV
+		if self := gossip.Seq(a.Digest, dp.cfg.Name); self > l.lastSent {
+			l.lastSent = self
+		}
+	}
+	dp.gossipRelayed += st.Relayed
+	dp.gossipDuplicates += st.Duplicates
+	dp.mu.Unlock()
+	dp.metrics.gossipResets.Add(int64(st.Resets))
+	// The pull: anything we hold that the sender's digest lacks. Records
+	// the sender just pushed are covered by its digest, so they never
+	// echo back.
+	pull := dp.engine.DispatchesSince(senderVV, dp.cfg.Gossip.MaxRecords)
+	return GossipReply{
+		From:    dp.cfg.Name,
+		Digest:  gossip.Cursors(dp.engine.OriginVector()),
+		Records: pull,
+		Stored:  st.Stored,
+	}, nil
+}

@@ -124,7 +124,7 @@ func (dp *DecisionPoint) Drain(timeout time.Duration) error {
 	// a call can fail against a partitioned peer — so this retries until
 	// the cursors prove completeness or the budget runs out.
 	for !dp.flushComplete() {
-		dp.exchangeNow(true)
+		dp.syncNow(true)
 		if dp.flushComplete() {
 			break
 		}

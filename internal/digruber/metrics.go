@@ -29,6 +29,10 @@ type dpMetrics struct {
 	drains      *tsdb.Counter
 	drainAborts *tsdb.Counter
 	retired     *tsdb.Counter
+	// gossipResets counts origin-log resets forced by sequence
+	// regressions (an origin crashed and renumbered) — rare by design,
+	// so it is an event counter rather than a round-accumulated gauge.
+	gossipResets *tsdb.Counter
 }
 
 // roundDurBuckets spans the mesh-round latencies the emulated stacks
@@ -50,6 +54,7 @@ func (dp *DecisionPoint) registerMetrics(reg *tsdb.Registry) {
 		drains:         reg.Counter(p + "lifecycle/drains"),
 		drainAborts:    reg.Counter(p + "lifecycle/drain_aborts"),
 		retired:        reg.Counter(p + "lifecycle/retired"),
+		gossipResets:   reg.Counter(p + "gossip/resets"),
 	}
 
 	// Lifecycle gauge: 1 while draining, 0 otherwise (serving or
@@ -128,6 +133,50 @@ func (dp *DecisionPoint) registerMetrics(reg *tsdb.Registry) {
 		})
 	}
 
+	// Byte accounting. The totals read through dp.serverStats and the
+	// per-method splits through dp.serverMethodIO, not a captured
+	// *wire.Server or its ledger — restarts build a fresh server, and
+	// these must follow it (same reason as the statFn gauges above).
+	reg.GaugeFunc(p+"wire/bytes_in", func(now time.Time) float64 {
+		return float64(dp.serverStats().BytesIn)
+	})
+	reg.GaugeFunc(p+"wire/bytes_out", func(now time.Time) float64 {
+		return float64(dp.serverStats().BytesOut)
+	})
+	for _, m := range []string{
+		MethodQuery, MethodReport, MethodSchedule,
+		MethodExchange, MethodGossip, MethodStatus, MethodSnapshot,
+	} {
+		m := m
+		short := shortMethod(m)
+		reg.GaugeFunc(p+"wire/method/"+short+"/bytes_in", func(now time.Time) float64 {
+			return float64(dp.serverMethodIO(m).In)
+		})
+		reg.GaugeFunc(p+"wire/method/"+short+"/bytes_out", func(now time.Time) float64 {
+			return float64(dp.serverMethodIO(m).Out)
+		})
+	}
+
+	// Gossip gauges (flat zero series under the flooding strategies).
+	reg.GaugeFunc(p+"gossip/pulled", func(now time.Time) float64 {
+		dp.mu.Lock()
+		defer dp.mu.Unlock()
+		return float64(dp.gossipPulled)
+	})
+	reg.GaugeFunc(p+"gossip/relayed", func(now time.Time) float64 {
+		dp.mu.Lock()
+		defer dp.mu.Unlock()
+		return float64(dp.gossipRelayed)
+	})
+	reg.GaugeFunc(p+"gossip/duplicates", func(now time.Time) float64 {
+		dp.mu.Lock()
+		defer dp.mu.Unlock()
+		return float64(dp.gossipDuplicates)
+	})
+	reg.GaugeFunc(p+"gossip/view_size", func(now time.Time) float64 {
+		return float64(dp.view.Len())
+	})
+
 	// Engine gauges.
 	reg.GaugeFunc(p+"engine/queries", func(now time.Time) float64 {
 		return float64(dp.engine.Stats().Queries)
@@ -163,6 +212,27 @@ func (dp *DecisionPoint) serverStats() wire.Stats {
 		return wire.Stats{}
 	}
 	return server.Stats()
+}
+
+// serverMethodIO reads one method's payload-byte totals off the current
+// server (zero while stopped).
+func (dp *DecisionPoint) serverMethodIO(method string) wire.IOBytes {
+	dp.mu.Lock()
+	server := dp.server
+	dp.mu.Unlock()
+	if server == nil {
+		return wire.IOBytes{}
+	}
+	return server.MethodIO()[method]
+}
+
+// shortMethod strips the "DIGRUBER." service prefix for series names.
+func shortMethod(m string) string {
+	const prefix = "DIGRUBER."
+	if len(m) > len(prefix) && m[:len(prefix)] == prefix {
+		return m[len(prefix):]
+	}
+	return m
 }
 
 // peerAliveLocked marks a peer alive and counts the transition edge.

@@ -17,6 +17,7 @@ package digruber
 import (
 	"time"
 
+	"digruber/internal/gossip"
 	"digruber/internal/gruber"
 	"digruber/internal/usla"
 )
@@ -47,6 +48,11 @@ const (
 	// after a crash pulls one peer's full unexpired dispatch view instead
 	// of waiting for records to drift in over incremental exchanges.
 	MethodSnapshot = "DIGRUBER.Snapshot"
+	// MethodGossip is one peer-sampling push-pull exchange under the
+	// Gossip dissemination strategy: digests (version vectors over origin
+	// decision points) travel both ways and each side ships what the
+	// other's vector lacks, own and relayed records alike.
+	MethodGossip = "DIGRUBER.Gossip"
 )
 
 // ProposeArgs carries one agreement document (XML, as a WS-Agreement
@@ -125,6 +131,41 @@ type ExchangeArgs struct {
 // ExchangeReply reports how many records were new to the receiver.
 type ExchangeReply struct {
 	Merged int
+}
+
+// GossipArgs is the push half of one gossip exchange: the sender's
+// version-vector digest over every origin it holds a log for, the
+// records it believes this receiver lacks (diffed against the
+// receiver's last-acknowledged vector), and a bounded membership sample
+// so fleet growth propagates epidemically too.
+type GossipArgs struct {
+	From string
+	// Round is the sender's gossip round counter, carried for traces and
+	// debugging (receivers do not depend on it).
+	Round uint64
+	// Digest is the sender's version vector as a sorted cursor list —
+	// everything the sender holds, so the receiver can both dedup the
+	// push and compute the pull.
+	Digest []gossip.Cursor
+	// Records is the push: dispatch records the receiver's last
+	// acknowledged vector did not cover, own and relayed origins alike.
+	Records []gruber.Dispatch
+	// Members is a bounded membership sample (the sender plus its
+	// sampled targets this round); receivers add unknown names to their
+	// own view, so joins spread without a central registry.
+	Members []gossip.Member
+}
+
+// GossipReply is the pull half: the receiver's post-merge digest (the
+// sender's acknowledgment basis for both retransmission and
+// compaction) and the records the sender's digest was missing.
+type GossipReply struct {
+	From    string
+	Digest  []gossip.Cursor
+	Records []gruber.Dispatch
+	// Stored counts push records the receiver appended to a log — the
+	// sender's measure of how useful the push was (vs pure redundancy).
+	Stored int
 }
 
 // SnapshotArgs requests a full state snapshot; From names the requester

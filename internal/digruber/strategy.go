@@ -19,6 +19,13 @@ const (
 	// NoExchange disables synchronization: each decision point relies
 	// only on its own observations.
 	NoExchange
+	// Gossip replaces the full-mesh flood with peer-sampling push-pull
+	// dissemination (internal/gossip): each round contacts a seeded
+	// sample of fanout-k peers, exchanges version-vector digests, and
+	// relays third-party records transitively. Per-point traffic tracks
+	// the fanout instead of the fleet size, which is what lets the mesh
+	// grow past the paper's 10 decision points.
+	Gossip
 )
 
 // String names the strategy.
@@ -30,6 +37,8 @@ func (s DisseminationStrategy) String() string {
 		return "usage-and-uslas"
 	case NoExchange:
 		return "no-exchange"
+	case Gossip:
+		return "gossip"
 	default:
 		return fmt.Sprintf("strategy(%d)", int(s))
 	}

@@ -15,7 +15,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"tab1", "tab2", "tab3",
 		"ablation-dissemination", "ablation-topology", "ablation-selector", "ablation-timeout",
 		"ext-coupling", "ext-gt4c", "ext-dynamic-live", "ext-lan", "ext-trace-replay", "ext-failure",
-		"ext-trace-breakdown", "ext-divergence", "ext-overload", "ext-elastic",
+		"ext-trace-breakdown", "ext-divergence", "ext-overload", "ext-elastic", "ext-gossip",
 	}
 	for _, id := range want {
 		e, ok := Lookup(id)

@@ -41,6 +41,15 @@ type Dispatch struct {
 	At time.Time
 	// Origin is the decision point that brokered the job.
 	Origin string
+	// Seq is the record's position in its origin's dispatch log, assigned
+	// by the origin engine at append time (1-based; 0 means unstamped —
+	// a record from a build that predates per-origin logs). Together with
+	// Origin it names the record globally, which is what lets gossip
+	// relay third-party records and deduplicate them with a version
+	// vector instead of per-peer cursors. Appended as the struct's last
+	// field: gob's value encoding elides zero fields, so records without
+	// it stay byte-identical to older builds (see TestDispatchWireCompat).
+	Seq uint64
 }
 
 // Expired reports whether the dispatched job should be assumed finished.
@@ -79,11 +88,13 @@ type Engine struct {
 	sites    map[string]*siteView
 	order    []string
 	seen     map[string]time.Time // JobID → expiry, for exchange dedup
-	local    []Dispatch           // dispatches brokered here, for exchange
-	// localDropped counts records compacted off the front of local, so
-	// record i of local carries exchange sequence number localDropped+i+1.
-	localDropped uint64
-	stats        EngineStats
+	// logs holds one dispatch log per origin decision point: this
+	// engine's own brokered dispatches (origin == name, backing the
+	// classic exchange cursor API) plus, under gossip dissemination,
+	// relayed third-party records (see relaylog.go). Each log is one
+	// contiguous run of sequence-numbered records.
+	logs  map[string]*originLog
+	stats EngineStats
 }
 
 // EngineStats counts engine activity.
@@ -134,6 +145,7 @@ func NewEngine(name string, policies *usla.PolicySet, clock vtime.Clock) *Engine
 		policies: policies,
 		sites:    make(map[string]*siteView),
 		seen:     make(map[string]time.Time),
+		logs:     make(map[string]*originLog),
 	}
 }
 
@@ -275,7 +287,8 @@ func (e *Engine) RecordDispatchCtx(ctx trace.SpanContext, d Dispatch) {
 }
 
 // RecordDispatch folds a locally-brokered dispatch into the view and the
-// exchange log. The engine stamps itself as Origin.
+// exchange log. The engine stamps itself as Origin and assigns the
+// record's sequence number in its own dispatch log.
 func (e *Engine) RecordDispatch(d Dispatch) {
 	d.Origin = e.name
 	e.mu.Lock()
@@ -284,7 +297,7 @@ func (e *Engine) RecordDispatch(d Dispatch) {
 		return
 	}
 	e.stats.LocalDispatches++
-	e.local = append(e.local, d)
+	d = e.logLocked(e.name).appendNext(d)
 	if sv, ok := e.sites[d.Site]; ok {
 		sv.applyLocked(d)
 	}
@@ -355,17 +368,14 @@ func (e *Engine) markSeenLocked(d Dispatch) bool {
 func (e *Engine) LocalDispatchesAfter(cursor uint64) ([]Dispatch, uint64) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	// Record i of e.local carries sequence number e.localDropped+i+1.
-	start := uint64(0)
-	if cursor > e.localDropped {
-		start = cursor - e.localDropped
+	l := e.logs[e.name]
+	if l == nil {
+		return make([]Dispatch, 0), 0
 	}
-	if start > uint64(len(e.local)) {
-		start = uint64(len(e.local))
-	}
-	out := make([]Dispatch, uint64(len(e.local))-start)
-	copy(out, e.local[start:])
-	return out, e.localDropped + uint64(len(e.local))
+	recs := l.after(cursor)
+	out := make([]Dispatch, len(recs))
+	copy(out, recs)
+	return out, l.hi()
 }
 
 // LocalSeqHighWater returns the sequence number of the newest local
@@ -377,7 +387,11 @@ func (e *Engine) LocalDispatchesAfter(cursor uint64) ([]Dispatch, uint64) {
 func (e *Engine) LocalSeqHighWater() uint64 {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return e.localDropped + uint64(len(e.local))
+	l := e.logs[e.name]
+	if l == nil {
+		return 0
+	}
+	return l.hi()
 }
 
 // CompactLocalBefore drops local dispatch records with sequence numbers
@@ -387,15 +401,9 @@ func (e *Engine) LocalSeqHighWater() uint64 {
 func (e *Engine) CompactLocalBefore(cursor uint64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if cursor <= e.localDropped {
-		return
+	if l := e.logs[e.name]; l != nil {
+		l.dropThrough(cursor)
 	}
-	n := cursor - e.localDropped
-	if n > uint64(len(e.local)) {
-		n = uint64(len(e.local))
-	}
-	e.local = append([]Dispatch(nil), e.local[n:]...)
-	e.localDropped += n
 }
 
 // Stats returns a copy of the engine counters.

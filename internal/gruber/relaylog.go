@@ -1,0 +1,260 @@
+package gruber
+
+import (
+	"sort"
+
+	"digruber/internal/trace"
+)
+
+// This file generalizes the engine's dispatch log from "my own records,
+// one cursor per peer" (the flooding exchange of exchangeNow) to one log
+// per origin decision point — the state gossip dissemination needs. The
+// flooding exchange only ever ships records the sender brokered itself,
+// so a full mesh is required for every record to reach every point. A
+// gossip round instead ships anything the receiver's version vector says
+// it lacks, own or relayed, so news crosses the fleet in O(log N) hops
+// over a sparse graph. The version vector (origin → highest contiguous
+// sequence number held) replaces per-peer cursors: it is what a digest
+// advertises, what a push is diffed against, and what compaction is
+// generalized over (the per-origin minimum acknowledged across the
+// membership view, plus expiry).
+
+// originLog is one origin's dispatch records as a contiguous run:
+// recs[i] carries sequence number dropped+i+1, and everything at or
+// below dropped has been compacted away.
+type originLog struct {
+	recs    []Dispatch
+	dropped uint64
+}
+
+// hi returns the highest sequence number the log covers (compacted
+// records count — they were held and acknowledged or expired).
+func (l *originLog) hi() uint64 { return l.dropped + uint64(len(l.recs)) }
+
+// appendNext stamps the next sequence number on d and appends it,
+// returning the stamped record. Used for the engine's own log, where the
+// engine is the numbering authority.
+func (l *originLog) appendNext(d Dispatch) Dispatch {
+	d.Seq = l.hi() + 1
+	l.recs = append(l.recs, d)
+	return d
+}
+
+// after returns the records with sequence numbers greater than cursor.
+// The returned slice aliases the log; callers copy before releasing the
+// engine lock.
+func (l *originLog) after(cursor uint64) []Dispatch {
+	start := uint64(0)
+	if cursor > l.dropped {
+		start = cursor - l.dropped
+	}
+	if start > uint64(len(l.recs)) {
+		start = uint64(len(l.recs))
+	}
+	return l.recs[start:]
+}
+
+// dropThrough compacts records with sequence numbers at or below cursor.
+func (l *originLog) dropThrough(cursor uint64) {
+	if cursor <= l.dropped {
+		return
+	}
+	n := cursor - l.dropped
+	if n > uint64(len(l.recs)) {
+		n = uint64(len(l.recs))
+	}
+	l.recs = append([]Dispatch(nil), l.recs[n:]...)
+	l.dropped += n
+}
+
+// logLocked returns the log for origin, creating it on first use.
+// Caller holds e.mu.
+func (e *Engine) logLocked(origin string) *originLog {
+	l := e.logs[origin]
+	if l == nil {
+		l = &originLog{}
+		e.logs[origin] = l
+	}
+	return l
+}
+
+// OriginVector returns the engine's version vector: for every origin it
+// holds a log for, the highest contiguous dispatch sequence number held.
+// This is the anti-entropy digest a gossip round advertises.
+func (e *Engine) OriginVector() map[string]uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	vv := make(map[string]uint64, len(e.logs))
+	//lint:allow mapiter -- map-to-map copy; order cannot matter
+	for origin, l := range e.logs {
+		vv[origin] = l.hi()
+	}
+	return vv
+}
+
+// DispatchesSince returns the log records a peer with version vector vv
+// lacks: for every origin, records with sequence numbers above
+// vv[origin] (missing origins count as zero), in sorted-origin order and
+// ascending sequence within an origin. maxRecords bounds the batch
+// (0 = unbounded); origins are filled in sorted order until the budget
+// runs out, and the next round continues from the receiver's advanced
+// vector. When the peer's cursor sits below a log's compacted floor the
+// batch starts at the floor; the receiver fast-forwards over the gap
+// (see MergeGossip).
+func (e *Engine) DispatchesSince(vv map[string]uint64, maxRecords int) []Dispatch {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	origins := make([]string, 0, len(e.logs))
+	for origin := range e.logs {
+		origins = append(origins, origin)
+	}
+	sort.Strings(origins)
+	var out []Dispatch
+	for _, origin := range origins {
+		recs := e.logs[origin].after(vv[origin])
+		if maxRecords > 0 && len(out)+len(recs) > maxRecords {
+			recs = recs[:maxRecords-len(out)]
+		}
+		out = append(out, recs...)
+		if maxRecords > 0 && len(out) >= maxRecords {
+			break
+		}
+	}
+	return out
+}
+
+// GossipMergeStats describes one MergeGossip call.
+type GossipMergeStats struct {
+	// Stored counts records appended to a per-origin log (and therefore
+	// relayable onward).
+	Stored int
+	// Relayed counts stored records whose origin is neither this engine
+	// nor the sending peer — third-party news the mesh forwarded, the
+	// measure of transitive relay actually happening.
+	Relayed int
+	// Applied counts records folded into the site views (unexpired,
+	// previously unseen JobIDs against known sites).
+	Applied int
+	// Duplicates counts records the version vector already covered —
+	// gossip's redundancy cost.
+	Duplicates int
+	// Resets counts origin-log resets forced by sequence regressions (an
+	// origin crashed, lost its log, and renumbered from 1).
+	Resets int
+}
+
+// MergeGossipCtx is MergeGossip recorded as an engine.merge span under
+// the given trace context.
+func (e *Engine) MergeGossipCtx(ctx trace.SpanContext, from string, records []Dispatch) GossipMergeStats {
+	sp := e.getTracer().StartSpan(ctx, trace.PhaseEngineMerge)
+	st := e.MergeGossip(from, records)
+	sp.End()
+	return st
+}
+
+// MergeGossip folds gossip-delivered dispatch records into the
+// per-origin logs and the site views. from names the sending peer (only
+// for the Relayed count). Records must carry Origin and Seq; unstamped
+// records (a pre-gossip peer) and echoes of this engine's own records
+// are ignored — the own log is the numbering authority.
+//
+// Within an origin the sequence run must stay contiguous, which three
+// cases can break:
+//
+//   - Seq above hi+1: the sender compacted records below its floor before
+//     this engine ever saw them. Fast-forward — reset the log's floor to
+//     the incoming record. The skipped records were acknowledged across
+//     the sender's whole view or expired, so their loss is the bounded
+//     staleness gossip already accepts (and their effect on this view,
+//     if any, arrived when they were applied).
+//   - Seq at or below hi with a seen JobID: a plain duplicate (two gossip
+//     paths delivered the same record).
+//   - Seq at or below hi with an unseen JobID: the origin restarted and
+//     renumbered from 1 (sequence reuse). Reset the log to the new
+//     incarnation so its fresh records flow again; late old-incarnation
+//     relays may bounce the log once more, which converges as their
+//     JobIDs enter the dedup set.
+func (e *Engine) MergeGossip(from string, records []Dispatch) GossipMergeStats {
+	now := e.clock.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var st GossipMergeStats
+	for _, d := range records {
+		if d.Origin == "" || d.Seq == 0 || d.Origin == e.name {
+			continue
+		}
+		l := e.logLocked(d.Origin)
+		switch hi := l.hi(); {
+		case d.Seq == hi+1:
+			l.recs = append(l.recs, d)
+		case d.Seq > hi+1:
+			l.recs = append([]Dispatch(nil), d)
+			l.dropped = d.Seq - 1
+		default:
+			if _, dup := e.seen[d.JobID]; dup {
+				st.Duplicates++
+				continue
+			}
+			l.recs = append([]Dispatch(nil), d)
+			l.dropped = d.Seq - 1
+			st.Resets++
+		}
+		st.Stored++
+		if d.Origin != from {
+			st.Relayed++
+		}
+		if !e.markSeenLocked(d) {
+			continue // view already has it (e.g. via a snapshot import)
+		}
+		e.stats.RemoteDispatches++
+		if d.Expired(now) {
+			continue // stale news: job already assumed finished
+		}
+		if sv, ok := e.sites[d.Site]; ok {
+			sv.applyLocked(d)
+			st.Applied++
+		}
+	}
+	return st
+}
+
+// CompactOrigins bounds the per-origin logs: for every origin, records
+// acknowledged across the caller's whole membership view
+// (seq ≤ acked[origin]) are dropped, and relayed logs also shed any
+// expired prefix — an expired dispatch no longer affects anyone's view,
+// so relaying it is pointless. The engine's own log is compacted by
+// acknowledgment only, never by expiry: Drain's verified flush promises
+// peers every own record up to the high-water mark. Log entries survive
+// emptying so the version vector keeps its floor.
+func (e *Engine) CompactOrigins(acked map[string]uint64) {
+	now := e.clock.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//lint:allow mapiter -- per-origin front-drop with no cross-origin reads; order cannot matter
+	for origin, l := range e.logs {
+		l.dropThrough(acked[origin])
+		if origin == e.name {
+			continue
+		}
+		n := 0
+		for n < len(l.recs) && l.recs[n].Expired(now) {
+			n++
+		}
+		if n > 0 {
+			l.dropThrough(l.dropped + uint64(n))
+		}
+	}
+}
+
+// OriginLogSize reports how many records the engine currently holds in
+// the named origin's log (0 for unknown origins) — a memory-bound probe
+// for tests and status displays.
+func (e *Engine) OriginLogSize(origin string) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	l := e.logs[origin]
+	if l == nil {
+		return 0
+	}
+	return len(l.recs)
+}

@@ -83,8 +83,10 @@ func (e *Engine) DropDynamicState() {
 		sv.usageDelta = make(map[string]int)
 	}
 	e.seen = make(map[string]time.Time)
-	e.local = nil
-	e.localDropped = 0
+	// Every per-origin log goes, the engine's own included: the sequence
+	// numbering restarts from 1 on the next dispatch, which peers detect
+	// as an origin restart (see MergeGossip's reset path).
+	e.logs = make(map[string]*originLog)
 }
 
 // PendingDispatches reports how many unexpired dispatches the engine

@@ -323,6 +323,7 @@ func (c *Client) attemptCall(ctx trace.SpanContext, method string, body []byte, 
 		c.dropConn(conn, err)
 		return nil, fmt.Errorf("%w: send: %v", ErrConnLost, err)
 	}
+	c.metrics.onBytesSent(method, len(body))
 
 	remaining := deadline.Sub(c.clock.Now())
 	if remaining <= 0 {
@@ -331,6 +332,7 @@ func (c *Client) attemptCall(ctx trace.SpanContext, method string, body []byte, 
 	}
 	select {
 	case f := <-ch:
+		c.metrics.onBytesReceived(method, len(f.Body))
 		if f.Err != "" {
 			switch {
 			case f.Err == ErrOverloaded.Error():

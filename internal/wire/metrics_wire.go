@@ -38,6 +38,14 @@ func (s *Server) RegisterMetrics(reg *tsdb.Registry, prefix string) {
 		v := c.v
 		reg.GaugeFunc(prefix+c.name, func(now time.Time) float64 { return float64(v.Load()) })
 	}
+	reg.GaugeFunc(prefix+"/bytes_in", func(now time.Time) float64 {
+		in, _ := s.bytes.totals()
+		return float64(in)
+	})
+	reg.GaugeFunc(prefix+"/bytes_out", func(now time.Time) float64 {
+		_, out := s.bytes.totals()
+		return float64(out)
+	})
 }
 
 // ClientMetrics aggregates call outcomes across one or more Clients
@@ -56,6 +64,9 @@ type ClientMetrics struct {
 	lost      atomic.Int64
 	expired   atomic.Int64
 	other     atomic.Int64 // FailureClosed and application-level errors
+
+	// bytes ledgers payload bytes sent/received, per method (bytes.go).
+	bytes byteBook
 }
 
 // NewClientMetrics returns an empty, shareable counter set.
@@ -87,6 +98,14 @@ func (m *ClientMetrics) Register(reg *tsdb.Registry, prefix string) {
 		v := c.v
 		reg.GaugeFunc(prefix+c.name, func(now time.Time) float64 { return float64(v.Load()) })
 	}
+	reg.GaugeFunc(prefix+"/bytes_sent", func(now time.Time) float64 {
+		_, out := m.bytes.totals()
+		return float64(out)
+	})
+	reg.GaugeFunc(prefix+"/bytes_received", func(now time.Time) float64 {
+		in, _ := m.bytes.totals()
+		return float64(in)
+	})
 }
 
 func (m *ClientMetrics) onCall() {
@@ -148,6 +167,11 @@ type ClientStats struct {
 	Timeout, Overload, Refused, Lost int64
 	Expired                          int64
 	Other                            int64
+	// BytesSent and BytesReceived total the payload bytes shipped
+	// (request bodies, every attempt) and received (response bodies)
+	// across all methods; the per-method split is MethodIO.
+	BytesSent     int64
+	BytesReceived int64
 }
 
 // Stats returns the current counter values (zero for a nil receiver).
@@ -155,17 +179,20 @@ func (m *ClientMetrics) Stats() ClientStats {
 	if m == nil {
 		return ClientStats{}
 	}
+	in, out := m.bytes.totals()
 	return ClientStats{
-		Calls:     m.calls.Load(),
-		Attempts:  m.attempts.Load(),
-		Retries:   m.retries.Load(),
-		Throttled: m.throttled.Load(),
-		OK:        m.ok.Load(),
-		Timeout:   m.timeout.Load(),
-		Overload:  m.overload.Load(),
-		Refused:   m.refused.Load(),
-		Lost:      m.lost.Load(),
-		Expired:   m.expired.Load(),
-		Other:     m.other.Load(),
+		BytesSent:     out,
+		BytesReceived: in,
+		Calls:         m.calls.Load(),
+		Attempts:      m.attempts.Load(),
+		Retries:       m.retries.Load(),
+		Throttled:     m.throttled.Load(),
+		OK:            m.ok.Load(),
+		Timeout:       m.timeout.Load(),
+		Overload:      m.overload.Load(),
+		Refused:       m.refused.Load(),
+		Lost:          m.lost.Load(),
+		Expired:       m.expired.Load(),
+		Other:         m.other.Load(),
 	}
 }

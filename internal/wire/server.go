@@ -66,6 +66,9 @@ type Server struct {
 
 	statMu  sync.Mutex
 	service stats.Online // observed service times, seconds
+
+	// bytes ledgers payload bytes in/out, per method (see bytes.go).
+	bytes byteBook
 }
 
 type job struct {
@@ -258,6 +261,7 @@ func (s *Server) serveConn(raw Conn) {
 			continue
 		}
 		s.received.Add(1)
+		s.bytes.count(f.Method, len(f.Body), 0)
 		j := job{conn: conn, f: f}
 		if f.Trace != 0 && s.getTracer() != nil {
 			j.enqueuedAt = s.clock.Now()
@@ -351,6 +355,7 @@ func (s *Server) process(j job) {
 	} else {
 		s.completed.Add(1)
 	}
+	s.bytes.count(j.f.Method, 0, len(respBody))
 	if err := j.conn.send(frame{ID: j.f.ID, Kind: frameResponse, Body: respBody, Err: errStr}); err != nil {
 		// The response had nowhere to go: the caller hung up (timed out,
 		// failed over, or died) before the container finished.
@@ -404,6 +409,11 @@ type Stats struct {
 	LaneInFlight int64
 	// ServiceMean is the mean emulated service time in seconds.
 	ServiceMean float64
+	// BytesIn and BytesOut total the payload bytes received (request
+	// bodies) and sent (response bodies) across all methods; the
+	// per-method split is Server.MethodIO.
+	BytesIn  int64
+	BytesOut int64
 }
 
 // Stats returns a consistent-enough snapshot of the server counters.
@@ -415,7 +425,10 @@ func (s *Server) Stats() Stats {
 	if s.laneWork != nil {
 		laneQueued = len(s.laneWork)
 	}
+	bytesIn, bytesOut := s.bytes.totals()
 	return Stats{
+		BytesIn:      bytesIn,
+		BytesOut:     bytesOut,
 		Received:     s.received.Load(),
 		Completed:    s.completed.Load(),
 		Failed:       s.failed.Load(),
