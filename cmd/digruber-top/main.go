@@ -236,6 +236,24 @@ func record(brokers []*broker, metrics *wire.ClientMetrics, reg *tsdb.Registry, 
 				gauge(p + series).Set(v)
 			}
 		}
+		// SLO alert summary, when the broker serves an alert source: one
+		// state-level series per alerting VO (1 pending, 2 firing; an
+		// inactive VO's series simply flatlines at its last level) plus
+		// the fleet-visible counts the render panel shows.
+		firing, pending := 0, 0
+		for _, al := range st.Alerts {
+			lvl := 1.0
+			if al.State == "firing" {
+				lvl = 2
+				firing++
+			} else {
+				pending++
+			}
+			gauge(p + "alert/" + al.VO + "/state").Set(lvl)
+			gauge(p + "alert/" + al.VO + "/burn").Set(al.Burn)
+		}
+		gauge(p + "alerts_firing").Set(float64(firing))
+		gauge(p + "alerts_pending").Set(float64(pending))
 		// Gossip dissemination and wire-traffic series, when the broker
 		// runs the gossip strategy and the byte-accounting plane.
 		for _, series := range []string{
@@ -337,7 +355,29 @@ func render(w *os.File, brokers []*broker, metrics *wire.ClientMetrics, plain bo
 			st.InFlight, st.Queued, st.Shed, st.Expired, st.ConnLost, div,
 			view, relayed, alive, suspect, dead)
 	}
+	renderAlerts(w, brokers)
 	if plain {
 		fmt.Fprintln(w)
+	}
+}
+
+// renderAlerts draws the SLO/ALERTS panel: every per-VO alert each
+// broker's StatusReply carried, with its burn rate and onset time. The
+// panel only appears once any broker publishes an alert summary —
+// fleets without the SLO plane keep the classic single-table layout.
+func renderAlerts(w *os.File, brokers []*broker) {
+	shown := false
+	for _, b := range brokers {
+		if !b.up || len(b.last.Alerts) == 0 {
+			continue
+		}
+		if !shown {
+			fmt.Fprintf(w, "\nSLO ALERTS\n%-10s %-8s %-9s %8s  %s\n", "BROKER", "VO", "STATE", "BURN", "SINCE")
+			shown = true
+		}
+		for _, al := range b.last.Alerts {
+			fmt.Fprintf(w, "%-10s %-8s %-9s %8.2f  %s\n",
+				b.name, al.VO, al.State, al.Burn, al.Since.Format("15:04:05"))
+		}
 	}
 }

@@ -12,7 +12,14 @@
 //
 //	digruber-trace trace.jsonl
 //	digruber-trace -slow 10 -root client.schedule trace.jsonl
+//	digruber-trace -trace 1c9a33f07d24be61 trace.jsonl
 //	experiments -run ext-trace-breakdown -trace-out /dev/stdout | digruber-trace
+//
+// The -trace form is the exemplar drill-down: tsdb histogram exemplars
+// carry the trace ID of the worst recent sample per bucket (hex in
+// digruber-top and the SLO plane's dumps), and -trace renders that one
+// request's full span tree so a p99 spike resolves to where the time
+// actually went.
 package main
 
 import (
@@ -21,6 +28,8 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"digruber/internal/trace"
@@ -28,8 +37,9 @@ import (
 
 func main() {
 	var (
-		slow = flag.Int("slow", 5, "number of slowest requests to list")
-		root = flag.String("root", trace.PhaseSchedule, "root span name selecting which trees to analyze")
+		slow    = flag.Int("slow", 5, "number of slowest requests to list")
+		root    = flag.String("root", trace.PhaseSchedule, "root span name selecting which trees to analyze")
+		traceID = flag.String("trace", "", "drill down: print the full span tree of this trace ID (hex, as printed by exemplars) and exit")
 	)
 	flag.Parse()
 
@@ -60,6 +70,26 @@ func main() {
 	}
 
 	all := trace.BuildTrees(records)
+
+	if *traceID != "" {
+		id, err := strconv.ParseUint(strings.TrimPrefix(*traceID, "0x"), 16, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -trace %q: want a hex trace ID\n", *traceID)
+			os.Exit(2)
+		}
+		for _, t := range all {
+			if t.Root.Trace != id {
+				continue
+			}
+			fmt.Printf("trace %016x: %d spans, %s end to end\n\n", id, t.Spans, t.Duration().Round(time.Microsecond))
+			printNode(t.Root, t.Root.Start, 0)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "trace %016x not found among %d trees in %s (collector overflow? check the trace/dropped series)\n",
+			id, len(all), src)
+		os.Exit(1)
+	}
+
 	trees := trace.FilterRoots(all, *root)
 	if len(trees) == 0 {
 		fmt.Fprintf(os.Stderr, "%d spans, %d trees, but none rooted at %q — try -root with one of the root names seen:\n", len(records), len(all), *root)
@@ -136,5 +166,22 @@ func main() {
 				note, t.Duration().Round(time.Millisecond), t.Spans,
 				worst.Round(time.Millisecond), worstName, t.Root.Actor)
 		}
+	}
+}
+
+// printNode renders one span and its children, indented, with each
+// span's offset from the trace root — the waterfall a p99 exemplar
+// drills into.
+func printNode(n *trace.Node, t0 time.Time, depth int) {
+	note := ""
+	if n.Note != "" {
+		note = "  — " + n.Note
+	}
+	fmt.Printf("%s%-*s %10s  +%-10s actor %s%s\n",
+		strings.Repeat("  ", depth), 24-2*depth, n.Name,
+		n.Duration.Round(time.Microsecond),
+		n.Start.Sub(t0).Round(time.Microsecond), n.Actor, note)
+	for _, c := range n.Children {
+		printNode(c, t0, depth+1)
 	}
 }

@@ -9,6 +9,7 @@
 //	experiments -run fig5 -json > rows.jsonl
 //	experiments -run ext-trace-breakdown -trace-out trace.jsonl
 //	experiments -run ext-divergence -metrics-out metrics.jsonl
+//	experiments -run ext-slo -metrics-out metrics.jsonl -alerts-out alerts.jsonl
 //
 // The bench scale (default) shrinks the emulated environment so the
 // whole suite finishes in minutes; -scale full reproduces the paper's
@@ -42,6 +43,7 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit result rows as JSONL on stdout (text reports go to stderr)")
 		traceOut   = flag.String("trace-out", "", "write ext-trace-breakdown's span records as JSONL to this file")
 		metricsOut = flag.String("metrics-out", "", "write ext-divergence's / ext-overload's sampled time series as JSONL to this file")
+		alertsOut  = flag.String("alerts-out", "", "write ext-slo's alert-transition log as JSONL to this file")
 	)
 	flag.Parse()
 
@@ -65,6 +67,7 @@ func main() {
 	sc.Seed = *seed
 	exp.TraceOutputPath = *traceOut
 	exp.MetricsOutputPath = *metricsOut
+	exp.AlertsOutputPath = *alertsOut
 
 	var selected []exp.Experiment
 	if *run == "all" {

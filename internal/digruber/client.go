@@ -10,6 +10,7 @@ import (
 	"digruber/internal/gruber"
 	"digruber/internal/netsim"
 	"digruber/internal/trace"
+	"digruber/internal/tsdb"
 	"digruber/internal/vtime"
 	"digruber/internal/wire"
 )
@@ -88,6 +89,13 @@ type ClientConfig struct {
 	// walking the Failover ring. Falls back to ring order when no probe
 	// answers.
 	LoadAwareFailover bool
+	// Latency, when non-nil, selects the histogram each completed
+	// scheduling operation's response time is observed into — typically a
+	// per-VO latency histogram keyed off the job's owner, feeding the SLO
+	// plane. Traced operations attach their trace ID as a bucket exemplar
+	// (see tsdb.Histogram.ObserveTrace), so a latency spike resolves to
+	// the exact span tree that caused it. Returning nil skips the job.
+	Latency func(j *grid.Job) *tsdb.Histogram
 }
 
 // DPRef names one decision point a client can bind to.
@@ -298,7 +306,7 @@ func (c *Client) Schedule(j *grid.Job) Decision {
 		dec.Site, dec.Err = c.fallback()
 		fs.End()
 		dec.Handled = false
-		return c.finish(dec, start, root)
+		return c.finish(j, dec, start, root)
 	}
 
 	sel := c.cfg.Tracer.StartSpan(root.Context(), trace.PhaseSelect)
@@ -315,7 +323,7 @@ func (c *Client) Schedule(j *grid.Job) Decision {
 		dec.Site, dec.Err = c.fallback()
 		fs.End()
 		dec.Handled = true
-		return c.finish(dec, start, root)
+		return c.finish(j, dec, start, root)
 	}
 
 	// Second round trip: inform the decision point of the selection so
@@ -339,7 +347,7 @@ func (c *Client) Schedule(j *grid.Job) Decision {
 		dec.Handled = true
 	}
 	dec.Site = site
-	return c.finish(dec, start, root)
+	return c.finish(j, dec, start, root)
 }
 
 // scheduleSingleCall is the one-round-trip coupling: the decision point
@@ -383,16 +391,22 @@ func (c *Client) scheduleSingleCall(j *grid.Job, start time.Time, dec Decision, 
 		dec.Site = reply.Site
 		dec.Handled = true
 	}
-	return c.finish(dec, start, root)
+	return c.finish(j, dec, start, root)
 }
 
 // finish stamps the decision and closes the root span with one shared
-// clock read, keeping dec.Response and the root span duration equal.
-func (c *Client) finish(dec Decision, start time.Time, root *trace.Span) Decision {
+// clock read, keeping dec.Response and the root span duration equal. It
+// also feeds the Latency hook: the observed response time carries the
+// decision's trace ID as a histogram exemplar, linking the metrics
+// plane's worst samples back to their span trees.
+func (c *Client) finish(j *grid.Job, dec Decision, start time.Time, root *trace.Span) Decision {
 	now := c.clock.Now()
 	dec.Response = now.Sub(start)
 	dec.At = now
 	root.EndAt(now)
+	if c.cfg.Latency != nil {
+		c.cfg.Latency(j).ObserveTrace(dec.Response.Seconds(), dec.TraceID, now)
+	}
 	return dec
 }
 

@@ -95,6 +95,14 @@ type ControllerConfig struct {
 	// loads that are measured at the source rather than inferred from
 	// distress. Empty disables it.
 	DemandSeries string
+	// SLOFiring optionally reports how many per-VO SLO alerts are
+	// currently firing (typically slo.Evaluator.FiringCount). Any firing
+	// alert reads as pressure — the SLO plane has already applied its own
+	// multi-window hysteresis, so by the time an alert fires the users'
+	// error budget is burning faster than it accrues and waiting for
+	// queue depth or sheds to confirm it only delays the remedy — and
+	// vetoes idle for the same reason. Nil disables the signal.
+	SLOFiring func() int
 	// DivergenceSuffix names the per-DP view-divergence gauge as
 	// dp/<name>/<suffix> (the exp harness registers "divergence").
 	// When set together with Signals.DivergenceHigh, high divergence
@@ -306,6 +314,7 @@ type signals struct {
 	ThrottleRate float64 // client retry-throttle rate, 1/s
 	DemandPerDP  float64 // offered request rate per serving member, 1/s
 	Divergence   float64 // largest per-member view divergence
+	SLOAlerts    int     // per-VO SLO alerts currently firing
 	Pressure     bool
 	Idle         bool
 }
@@ -336,11 +345,16 @@ func (c *Controller) assess(now time.Time) signals {
 	if c.cfg.DemandSeries != "" && len(fleet) > 0 {
 		s.DemandPerDP = c.reg.WindowRate(c.cfg.DemandSeries, now, th.Window) / float64(len(fleet))
 	}
+	if c.cfg.SLOFiring != nil {
+		s.SLOAlerts = c.cfg.SLOFiring()
+	}
 	s.Pressure = s.MaxQueue >= th.QueueHigh ||
 		s.ShedRate >= th.ShedRateHigh ||
+		s.SLOAlerts > 0 ||
 		(c.cfg.ThrottleSeries != "" && s.ThrottleRate >= th.ThrottleRateHigh) ||
 		(c.cfg.DemandSeries != "" && th.DemandHighPerDP > 0 && s.DemandPerDP >= th.DemandHighPerDP)
 	s.Idle = s.MaxQueue <= th.QueueLow && s.ShedRate == 0 && s.ThrottleRate == 0 &&
+		s.SLOAlerts == 0 &&
 		(c.cfg.DemandSeries == "" || th.DemandLowPerDP <= 0 || s.DemandPerDP <= th.DemandLowPerDP)
 	if th.DivergenceHigh > 0 && s.Divergence >= th.DivergenceHigh {
 		// A diverged fleet is not idle enough to shrink: losing a member

@@ -100,6 +100,9 @@ type DecisionPoint struct {
 	// AddPeer/RemovePeer (it has its own lock and caps the active subset
 	// internally). Only the Gossip strategy samples it.
 	view *gossip.View
+	// alertSource, when set, supplies the current SLO alert summary for
+	// Status replies (see SetAlertSource).
+	alertSource func() []AlertSummary
 
 	mu        sync.Mutex
 	peers     map[string]*peerLink
@@ -260,6 +263,7 @@ func (dp *DecisionPoint) registerHandlers() {
 			return QueryReply{}, wire.ErrDraining
 		}
 		dp.detector.ObserveArrival()
+		defer dp.observeHandle(dp.cfg.Clock.Now(), ctx.Span.Trace)
 		owner, err := usla.ParsePath(a.Owner)
 		if err != nil {
 			return QueryReply{}, err
@@ -346,6 +350,7 @@ func (dp *DecisionPoint) registerHandlers() {
 			return ScheduleReply{}, wire.ErrDraining
 		}
 		dp.detector.ObserveArrival()
+		defer dp.observeHandle(dp.cfg.Clock.Now(), ctx.Span.Trace)
 		owner, err := usla.ParsePath(a.Owner)
 		if err != nil {
 			return ScheduleReply{}, err
@@ -384,11 +389,23 @@ func (dp *DecisionPoint) markPeerAlive(name string) {
 	}
 }
 
+// SetAlertSource wires the supplier of the per-VO SLO alert summary
+// Status attaches (typically an adapter over slo.Evaluator.Alerts). The
+// source must be safe for concurrent calls; nil detaches it. The
+// summary rides StatusReply as a trailing extension field, so replies
+// stay byte-identical to pre-SLO builds whenever no alert is active.
+func (dp *DecisionPoint) SetAlertSource(fn func() []AlertSummary) {
+	dp.mu.Lock()
+	dp.alertSource = fn
+	dp.mu.Unlock()
+}
+
 // Status assembles the decision point's self-report.
 func (dp *DecisionPoint) Status() StatusReply {
 	es := dp.engine.Stats()
 	dp.mu.Lock()
 	server := dp.server
+	alertSource := dp.alertSource
 	var state string
 	if dp.draining {
 		state = StateDraining
@@ -409,6 +426,10 @@ func (dp *DecisionPoint) Status() StatusReply {
 		ss = server.Stats()
 	}
 	observed, capacity, saturated := dp.detector.Assess(ss)
+	var alerts []AlertSummary
+	if alertSource != nil {
+		alerts = alertSource()
+	}
 	return StatusReply{
 		Name:             dp.cfg.Name,
 		Queries:          es.Queries,
@@ -427,6 +448,7 @@ func (dp *DecisionPoint) Status() StatusReply {
 		At:               dp.cfg.Clock.Now(),
 		Expired:          ss.Expired,
 		State:            state,
+		Alerts:           alerts,
 	}
 }
 

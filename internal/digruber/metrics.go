@@ -33,12 +33,29 @@ type dpMetrics struct {
 	// regressions (an origin crashed and renumbered) — rare by design,
 	// so it is an event counter rather than a round-accumulated gauge.
 	gossipResets *tsdb.Counter
+	// handleDur is the server-side scheduling-path duration (Query and
+	// Schedule handlers, seconds). Traced requests attach their trace ID
+	// as a bucket exemplar, so a p99 spike in this histogram resolves to
+	// the offending request's span tree.
+	handleDur *tsdb.Histogram
 }
 
 // roundDurBuckets spans the mesh-round latencies the emulated stacks
 // produce: sub-second in-memory rounds up to rounds dragged out by a
 // full PeerTimeout on a dead link.
 var roundDurBuckets = []float64{0.1, 0.5, 1, 2, 5, 10, 30, 60}
+
+// handleDurBuckets spans the server-side scheduling-path durations: the
+// Instant profile's zero-width handlers up through a GT3-class stack
+// dragging a query out past the client's 30s timeout.
+var handleDurBuckets = []float64{0.001, 0.01, 0.1, 0.5, 1, 2, 5, 10, 30}
+
+// observeHandle records one scheduling-path handler's duration with the
+// request's trace ID as the bucket exemplar (zero for untraced calls,
+// which degrades to a plain observation).
+func (dp *DecisionPoint) observeHandle(start time.Time, traceID uint64) {
+	dp.metrics.handleDur.ObserveTrace(dp.cfg.Clock.Now().Sub(start).Seconds(), traceID, start)
+}
 
 // registerMetrics wires the decision point's instruments and gauges
 // into reg under dp/<name>/. Safe with a nil registry: GaugeFunc is a
@@ -55,6 +72,7 @@ func (dp *DecisionPoint) registerMetrics(reg *tsdb.Registry) {
 		drainAborts:    reg.Counter(p + "lifecycle/drain_aborts"),
 		retired:        reg.Counter(p + "lifecycle/retired"),
 		gossipResets:   reg.Counter(p + "gossip/resets"),
+		handleDur:      reg.Histogram(p+"handle_s", handleDurBuckets),
 	}
 
 	// Lifecycle gauge: 1 while draining, 0 otherwise (serving or

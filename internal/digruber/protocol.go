@@ -256,6 +256,25 @@ type StatusReply struct {
 	// infer it from the poll failing. Appended after Expired, like every
 	// extension field.
 	State string
+	// Alerts is the decision point's current per-VO SLO alert summary
+	// (pending and firing alerts only), attached when an alert source is
+	// wired via SetAlertSource and at least one alert is active. Nil in
+	// the steady state and elided from the encoding, so replies without
+	// alerts stay byte-identical to pre-SLO builds. Appended after State,
+	// like every extension field.
+	Alerts []AlertSummary
+}
+
+// AlertSummary is one VO's active SLO alert in a StatusReply: which VO,
+// how far along the state machine ("pending" or "firing"), since when,
+// and the fast-window burn rate at the last evaluation. It mirrors the
+// slo package's AlertStatus without importing it — the wire schema must
+// not chase an internal package's shape.
+type AlertSummary struct {
+	VO    string
+	State string
+	Since time.Time
+	Burn  float64
 }
 
 // Lifecycle states a decision point advertises in StatusReply.State.

@@ -392,3 +392,113 @@ func TestStatusExpiredCrossDecode(t *testing.T) {
 		t.Fatalf("new→v5 decode mismatch:\n got %+v\nwant %+v", old, v5Reply())
 	}
 }
+
+// StatusReplyV8 is the lifecycle-era reply shape (PR 7/8): fields
+// through State, the SLO Alerts summary not yet appended.
+type StatusReplyV8 struct {
+	Name             string
+	Queries          int64
+	LocalDispatches  int64
+	RemoteDispatches int64
+	Received         int64
+	Completed        int64
+	Shed             int64
+	ConnLost         int64
+	InFlight         int64
+	Queued           int
+	Saturated        bool
+	ObservedRate     float64
+	CapacityRate     float64
+	Peers            []PeerHealth
+	At               time.Time
+	Metrics          []MetricSample
+	Expired          int64
+	State            string
+}
+
+func v8Reply() StatusReplyV8 {
+	return StatusReplyV8{
+		Name: "dp-0", Queries: 42, LocalDispatches: 7, RemoteDispatches: 3,
+		Received: 50, Completed: 48, Shed: 1, ConnLost: 1, InFlight: 2, Queued: 4,
+		Saturated: true, ObservedRate: 2.5, CapacityRate: 2.0,
+		Peers: []PeerHealth{
+			{Name: "dp-1", State: "alive"},
+			{Name: "dp-2", State: "dead", ConsecutiveFails: 5},
+		},
+		At:      compatEpoch.Add(17 * time.Minute),
+		Metrics: []MetricSample{{Name: "dp/dp-0/wire/inflight", V: 2}},
+		Expired: 9,
+		State:   "draining",
+	}
+}
+
+// curV8Reply builds the current shape with every pre-Alerts extension
+// field set, matching v8Reply.
+func curV8Reply() digruber.StatusReply {
+	cur := newReply()
+	cur.Metrics = []digruber.MetricSample{{Name: "dp/dp-0/wire/inflight", V: 2}}
+	cur.Expired = 9
+	cur.State = digruber.StateDraining
+	return cur
+}
+
+// TestStatusAlertsWireCompat extends the append-only gate to the SLO
+// Alerts summary: a reply with no active alerts — even one exercising
+// every earlier extension field — encodes byte-identically to the PR-8
+// shape, and the field costs bytes only while an alert is actually
+// pending or firing.
+func TestStatusAlertsWireCompat(t *testing.T) {
+	oldMsg := primedEncode(t, StatusReplyV8{Name: "p"}, v8Reply())
+	newMsg := primedEncode(t, digruber.StatusReply{Name: "p"}, curV8Reply())
+	if old, new := valueBody(t, oldMsg), valueBody(t, newMsg); !bytes.Equal(old, new) {
+		t.Fatalf("alert-free reply value encoding changed:\n old %x\n new %x", old, new)
+	}
+
+	alerting := curV8Reply()
+	alerting.Alerts = []digruber.AlertSummary{{
+		VO: "atlas", State: "firing", Since: compatEpoch.Add(15 * time.Minute), Burn: 3.5,
+	}}
+	extended := primedEncode(t, digruber.StatusReply{Name: "p"}, alerting)
+	if bytes.Equal(valueBody(t, newMsg), valueBody(t, extended)) {
+		t.Fatal("setting Alerts did not change the encoding")
+	}
+}
+
+// TestStatusAlertsCrossDecode: PR-8-era and current shapes interoperate
+// in both directions around the Alerts field — an old monitor polling an
+// alerting broker simply never sees the summary.
+func TestStatusAlertsCrossDecode(t *testing.T) {
+	// Old sender → new receiver: Alerts stays nil.
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v8Reply()); err != nil {
+		t.Fatal(err)
+	}
+	var got digruber.StatusReply
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, curV8Reply()) {
+		t.Fatalf("v8→new decode mismatch:\n got %+v\nwant %+v", got, curV8Reply())
+	}
+	if got.Alerts != nil {
+		t.Fatalf("v8 reply decoded Alerts=%+v, want nil", got.Alerts)
+	}
+
+	// New alerting sender → old receiver: the summary is dropped,
+	// everything else survives.
+	alerting := curV8Reply()
+	alerting.Alerts = []digruber.AlertSummary{{
+		VO: "atlas", State: "firing", Since: compatEpoch.Add(15 * time.Minute), Burn: 3.5,
+	}}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(alerting); err != nil {
+		t.Fatal(err)
+	}
+	var old StatusReplyV8
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old, v8Reply()) {
+		t.Fatalf("new→v8 decode mismatch:\n got %+v\nwant %+v", old, v8Reply())
+	}
+}

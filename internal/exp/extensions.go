@@ -41,6 +41,7 @@ func extensionExperiments() []Experiment {
 		{ID: "ext-overload", Title: "Extension: end-to-end overload control under saturation", Run: runOverloadExtension},
 		{ID: "ext-elastic", Title: "Extension: elastic fleet controller with graceful drain", Run: runElasticExtension},
 		{ID: "ext-gossip", Title: "Extension: peer-sampling gossip dissemination at 10-100 decision points", Run: runGossipExtension},
+		{ID: "ext-slo", Title: "Extension: per-VO SLO plane with burn-rate alerting", Run: runSLOExtension},
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"digruber/internal/tsdb"
 	"digruber/internal/vtime"
 	"digruber/internal/wire"
+	"digruber/internal/workload"
 )
 
 // ScenarioConfig describes one live DI-GRUBER emulation (Figures 5-7 and
@@ -273,6 +274,12 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 			Actor: actor, Seed: cfg.Seed, Clock: clock, Collector: cfg.TraceSink,
 		})
 	}
+	// With both planes on, the collector's overflow accounting joins the
+	// metrics export: trace/dropped climbing warns that exemplar trace
+	// IDs may no longer resolve in the recorded spans.
+	if cfg.TraceSink != nil && cfg.MetricsSink != nil {
+		cfg.TraceSink.RegisterMetrics(cfg.MetricsSink)
+	}
 
 	// --- grid substrate ---
 	g, err := grid.Generate(grid.TopologyConfig{
@@ -417,6 +424,17 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		wireMetrics = wire.NewClientMetrics()
 		wireMetrics.Register(cfg.MetricsSink, "clients/wire")
 	}
+	// Per-VO schedule-latency histograms with trace-ID exemplars — the
+	// SLO plane's input. Pre-registered for every VO of the workload so
+	// the export's series set never depends on which VO submitted first.
+	var voLatency map[string]*tsdb.Histogram
+	if cfg.MetricsSink != nil {
+		voLatency = make(map[string]*tsdb.Histogram, wl.gen.Config().VOs)
+		for v := 0; v < wl.gen.Config().VOs; v++ {
+			name := workload.VOName(v)
+			voLatency[name] = cfg.MetricsSink.Histogram("vo/"+name+"/latency_s", sloLatencyBuckets)
+		}
+	}
 	// Shared overload-control machinery. The retry budget is one bucket
 	// for the whole fleet — that is the point: it caps aggregate retry
 	// volume, not each client's. Breaker transitions land in fleet-wide
@@ -484,6 +502,11 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 			Failover:      failover,
 			Tracer:        tracerFor(wl.gen.HostName(t)),
 			WireMetrics:   wireMetrics,
+		}
+		if voLatency != nil {
+			// Unknown owners fall through to a nil histogram (a no-op
+			// observation) rather than minting series mid-run.
+			ccfg.Latency = func(j *grid.Job) *tsdb.Histogram { return voLatency[j.Owner.VO] }
 		}
 		if o := cfg.Overload; o != nil {
 			// Retries with or without the plane; only the plane bounds

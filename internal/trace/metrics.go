@@ -1,0 +1,19 @@
+package trace
+
+import (
+	"time"
+
+	"digruber/internal/tsdb"
+)
+
+// RegisterMetrics exposes the collector's loss accounting on the
+// metrics plane as the trace/dropped gauge — the count of spans the
+// ring discarded after filling. A climbing series means the trace
+// plane is lying by omission: exemplars may reference spans that no
+// longer resolve, which is exactly when an operator needs to know.
+// Nil-safe on both sides: a nil registry registers nothing.
+func (c *Collector) RegisterMetrics(reg *tsdb.Registry) {
+	reg.GaugeFunc("trace/dropped", func(now time.Time) float64 {
+		return float64(c.Dropped())
+	})
+}

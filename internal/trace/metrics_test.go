@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"digruber/internal/tsdb"
+	"digruber/internal/vtime"
+)
+
+// TestDroppedGaugeTracksOverflow: once the collector's ring fills, the
+// trace/dropped gauge counts every span the ring discarded — the
+// metrics-plane tell that exemplar trace IDs may no longer resolve.
+func TestDroppedGaugeTracksOverflow(t *testing.T) {
+	clock := vtime.NewManual(epoch)
+	col := NewCollector(2)
+	reg := tsdb.New(0)
+	col.RegisterMetrics(reg)
+	tr := New(Config{Actor: "dp-0", Seed: 1, Clock: clock, Collector: col})
+
+	reg.Sample(clock.Now())
+	if p, ok := reg.Latest("trace/dropped"); !ok || p.V != 0 {
+		t.Fatalf("pre-overflow trace/dropped = %+v, want 0", p)
+	}
+
+	for i := 0; i < 5; i++ {
+		tr.StartTrace(PhaseSchedule).End()
+	}
+	clock.Advance(time.Second)
+	reg.Sample(clock.Now())
+	if p, ok := reg.Latest("trace/dropped"); !ok || p.V != 3 {
+		t.Fatalf("post-overflow trace/dropped = %+v, want 3", p)
+	}
+
+	// Nil registry: registration is a no-op, not a panic.
+	col.RegisterMetrics(nil)
+}

@@ -216,12 +216,36 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	defer r.mu.Unlock()
 	fresh, ok := r.registerLocked(name, kindHistogram)
 	if !ok {
-		return newHistogram(bounds)
+		return newHistogram(name, bounds)
 	}
 	if fresh {
-		r.hists[name] = newHistogram(bounds)
+		r.hists[name] = newHistogram(name, bounds)
 	}
 	return r.hists[name]
+}
+
+// Exemplars returns the named histogram's per-bucket exemplars (see
+// Histogram.Exemplars), or nil when the name is not a histogram.
+func (r *Registry) Exemplars(name string) []Exemplar {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	r.mu.Unlock()
+	return h.Exemplars()
+}
+
+// HistogramBounds returns the named histogram's bucket upper bounds, or
+// nil when the name is not a histogram.
+func (r *Registry) HistogramBounds(name string) []float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	h := r.hists[name]
+	r.mu.Unlock()
+	return h.Bounds()
 }
 
 // sampleOp is one instrument's slot in a sampling pass.

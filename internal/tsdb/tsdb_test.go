@@ -153,7 +153,7 @@ func TestHistogramBoundsSanitized(t *testing.T) {
 	if b := h.Bounds(); len(b) != 2 || b[0] != 1 || b[1] != 5 {
 		t.Fatalf("bounds = %v, want [1 5]", b)
 	}
-	if b := newHistogram(nil).Bounds(); len(b) != len(DefBuckets) {
+	if b := newHistogram("t", nil).Bounds(); len(b) != len(DefBuckets) {
 		t.Fatalf("empty bounds should fall back to DefBuckets, got %v", b)
 	}
 }
