@@ -208,14 +208,16 @@ type benchRecord struct {
 
 // benchTrajectoryFile is where this PR's baseline lands; bump the number
 // per PR so the files line up into a trajectory.
-const benchTrajectoryFile = "BENCH_9.json"
+const benchTrajectoryFile = "BENCH_10.json"
 
 // BenchmarkSchedulePath measures the end-to-end schedule hot path — one
 // client issuing Schedule RPCs against a single decision point over the
 // in-memory transport with an instant service stack, so the numbers
 // isolate the wire framing + engine work from any simulated stack delay.
 // Besides the standard ns/op it reports ops/sec and the p99 latency, and
-// writes both to BENCH_9.json as the perf-trajectory baseline.
+// writes both to BENCH_10.json as the perf-trajectory baseline. The
+// benchmark config leaves Durability nil, so the number also guards the
+// nil-off contract: the WAL hook must cost nothing when disabled.
 func BenchmarkSchedulePath(b *testing.B) {
 	clock := vtime.NewReal()
 	mem := wire.NewMem()

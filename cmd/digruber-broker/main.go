@@ -28,6 +28,7 @@ import (
 	"digruber/internal/tsdb"
 	"digruber/internal/usla"
 	"digruber/internal/vtime"
+	"digruber/internal/wal"
 	"digruber/internal/wire"
 )
 
@@ -47,6 +48,8 @@ func main() {
 		uslas    = flag.String("uslas", "", "USLA policy file (usla text format)")
 		status   = flag.Duration("status", time.Minute, "status log period (0 disables)")
 		sample   = flag.Duration("sample", 15*time.Second, "metrics sampling period (0 disables the metrics plane)")
+		walDir   = flag.String("wal-dir", "", "directory for the write-ahead log and checkpoints (empty disables durability)")
+		ckptEvry = flag.Int("wal-checkpoint-every", 0, "checkpoint after this many WAL appends (0 = default cadence)")
 	)
 	var peers peerList
 	flag.Var(&peers, "peer", "peer broker as name=host:port (repeatable)")
@@ -72,6 +75,15 @@ func main() {
 	if *sample > 0 {
 		reg = tsdb.New(0)
 	}
+	// -wal-dir turns on the durability layer over real os files: every
+	// acked dispatch is journaled before the reply, and Start replays the
+	// checkpoint+log before the listener comes up.
+	var durability *digruber.DurabilityConfig
+	if *walDir != "" {
+		store, err := wal.NewDirStore(*walDir)
+		fatalIf(err)
+		durability = &digruber.DurabilityConfig{Store: store, CheckpointEvery: *ckptEvry}
+	}
 	dp, err := digruber.New(digruber.Config{
 		Name:             *name,
 		Node:             *name,
@@ -83,6 +95,7 @@ func main() {
 		ExchangeInterval: *exchange,
 		Strategy:         strategyByName(*strategy),
 		Metrics:          reg,
+		Durability:       durability,
 	})
 	fatalIf(err)
 	if reg != nil {
@@ -110,6 +123,23 @@ func main() {
 	fatalIf(dp.Start())
 	fmt.Printf("%s: listening on %s (profile %s, %s, exchange %s, %d peers)\n",
 		*name, *listen, *profile, *strategy, *exchange, len(peers))
+	if durability != nil {
+		rec := dp.LastRecovery()
+		fmt.Printf("%s: wal %s: checkpoint=%v replayed=%d truncated=%v\n",
+			*name, *walDir, rec.CheckpointRestored, rec.Recovered, rec.Truncated)
+		if rec.CheckpointCorrupt || rec.Truncated {
+			reason := rec.TruncateReason
+			if rec.CheckpointCorrupt {
+				if reason == "" {
+					reason = "corrupt checkpoint"
+				} else {
+					reason = "corrupt checkpoint; " + reason
+				}
+			}
+			fmt.Printf("%s: wal damage detected (%s); peers listed with -peer backfill the gap\n",
+				*name, reason)
+		}
+	}
 
 	if *status > 0 {
 		go func() {

@@ -44,6 +44,12 @@ type broker struct {
 
 	up   bool
 	last digruber.StatusReply
+
+	// WAL append-rate state: the previous poll's wal/appends sample and
+	// its time, and the rate derived from the delta.
+	walAppends   float64
+	walAppendsAt time.Time
+	walRate      float64
 }
 
 func main() {
@@ -254,16 +260,27 @@ func record(brokers []*broker, metrics *wire.ClientMetrics, reg *tsdb.Registry, 
 		}
 		gauge(p + "alerts_firing").Set(float64(firing))
 		gauge(p + "alerts_pending").Set(float64(pending))
-		// Gossip dissemination and wire-traffic series, when the broker
-		// runs the gossip strategy and the byte-accounting plane.
+		// Gossip dissemination, wire-traffic and write-ahead-log series,
+		// when the broker runs the gossip strategy, the byte-accounting
+		// plane or the durability layer.
 		for _, series := range []string{
 			"gossip/view_size", "gossip/pulled", "gossip/relayed",
 			"gossip/duplicates", "gossip/resets",
 			"wire/bytes_in", "wire/bytes_out",
+			"wal/appends", "wal/bytes", "wal/checkpoints", "wal/append_errors",
+			"wal/recovered", "wal/truncated", "wal/backfilled", "wal/checkpoint_age_s",
 		} {
 			if v, ok := metric(st, "dp/"+st.Name+"/"+series); ok {
 				gauge(p + strings.ReplaceAll(series, "/", "_")).Set(v)
 			}
+		}
+		// Derive the WAL append rate from successive polls of the
+		// monotonic appends counter.
+		if v, ok := metric(st, "dp/"+st.Name+"/wal/appends"); ok {
+			if !b.walAppendsAt.IsZero() && now.After(b.walAppendsAt) {
+				b.walRate = (v - b.walAppends) / now.Sub(b.walAppendsAt).Seconds()
+			}
+			b.walAppends, b.walAppendsAt = v, now
 		}
 	}
 	serving, draining, stopped := fleetStates(brokers)
@@ -355,9 +372,44 @@ func render(w *os.File, brokers []*broker, metrics *wire.ClientMetrics, plain bo
 			st.InFlight, st.Queued, st.Shed, st.Expired, st.ConnLost, div,
 			view, relayed, alive, suspect, dead)
 	}
+	renderWAL(w, brokers)
 	renderAlerts(w, brokers)
 	if plain {
 		fmt.Fprintln(w)
+	}
+}
+
+// renderWAL draws the WAL/DURABILITY panel: append rate, checkpoint
+// age, and what the last restart's recovery had to do (records
+// replayed, truncation verdict, peer backfill). The panel only appears
+// once any broker publishes wal/* series — fleets running without the
+// durability layer keep the classic layout.
+func renderWAL(w *os.File, brokers []*broker) {
+	shown := false
+	for _, b := range brokers {
+		if !b.up {
+			continue
+		}
+		st := b.last
+		appends, ok := metric(st, "dp/"+st.Name+"/wal/appends")
+		if !ok {
+			continue
+		}
+		if !shown {
+			fmt.Fprintf(w, "\nWAL / DURABILITY\n%-10s %10s %8s %8s %10s %10s %10s %10s\n",
+				"BROKER", "APPENDS/S", "APPENDS", "CKPTS", "CKPT AGE", "RECOVERED", "TRUNCATED", "BACKFILLED")
+			shown = true
+		}
+		age := "-"
+		if v, ok := metric(st, "dp/"+st.Name+"/wal/checkpoint_age_s"); ok && v > 0 {
+			age = (time.Duration(v) * time.Second).String()
+		}
+		ckpts, _ := metric(st, "dp/"+st.Name+"/wal/checkpoints")
+		recovered, _ := metric(st, "dp/"+st.Name+"/wal/recovered")
+		truncated, _ := metric(st, "dp/"+st.Name+"/wal/truncated")
+		backfilled, _ := metric(st, "dp/"+st.Name+"/wal/backfilled")
+		fmt.Fprintf(w, "%-10s %10.2f %8.0f %8.0f %10s %10.0f %10.0f %10.0f\n",
+			b.name, b.walRate, appends, ckpts, age, recovered, truncated, backfilled)
 	}
 }
 

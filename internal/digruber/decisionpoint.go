@@ -58,6 +58,11 @@ type Config struct {
 	// and gauges under dp/<Name>/ (see metrics.go). Nil disables
 	// metrics at zero cost, exactly like Tracer.
 	Metrics *tsdb.Registry
+	// Durability, when non-nil, gives the decision point a write-ahead
+	// log and checkpoint store (see durability.go): dispatches are
+	// synced to the store before they are acked, and Start recovers the
+	// store before serving. Nil disables durability at zero cost.
+	Durability *DurabilityConfig
 }
 
 func (c *Config) setDefaults() error {
@@ -103,6 +108,8 @@ type DecisionPoint struct {
 	// alertSource, when set, supplies the current SLO alert summary for
 	// Status replies (see SetAlertSource).
 	alertSource func() []AlertSummary
+	// dur is the durability state (nil when Config.Durability is nil).
+	dur *durability
 
 	mu        sync.Mutex
 	peers     map[string]*peerLink
@@ -217,6 +224,13 @@ func New(cfg Config) (*DecisionPoint, error) {
 		view:     gossip.NewView(cfg.Name, cfg.Gossip.Seed, cfg.Gossip.ViewSize),
 	}
 	dp.engine.SetTracer(cfg.Tracer)
+	if cfg.Durability != nil {
+		if cfg.Durability.Store == nil {
+			return nil, fmt.Errorf("digruber: decision point %s: Durability needs a Store", cfg.Name)
+		}
+		dp.dur = newDurability(cfg.Durability)
+		dp.engine.SetAppender(dp.dur.appendEntry)
+	}
 	dp.server = dp.newServer()
 	dp.registerMetrics(cfg.Metrics)
 	dp.registerHandlers()
@@ -302,7 +316,17 @@ func (dp *DecisionPoint) registerHandlers() {
 	})
 	wire.Handle(dp.server, MethodSnapshot, func(a SnapshotArgs) (SnapshotReply, error) {
 		dp.markPeerAlive(a.From)
-		return SnapshotReply{From: dp.cfg.Name, Dispatches: dp.engine.ExportSnapshot()}, nil
+		// A requester that recovered part of its state from a durable
+		// store sends its version vector; ship only what it lacks.
+		// Vector-less requests (non-durable peers, total loss) get the
+		// full view, as before.
+		var dispatches []gruber.Dispatch
+		if len(a.Vector) > 0 {
+			dispatches = dp.engine.ExportSnapshotSince(gossip.Vector(a.Vector))
+		} else {
+			dispatches = dp.engine.ExportSnapshot()
+		}
+		return SnapshotReply{From: dp.cfg.Name, Dispatches: dispatches}, nil
 	})
 	wire.Handle(dp.server, MethodProposeAgreement, func(a ProposeArgs) (ProposeReply, error) {
 		agreement, err := usla.ParseAgreementXML(a.AgreementXML)
@@ -551,6 +575,13 @@ func (dp *DecisionPoint) Start() error {
 			link.client = dp.newPeerClient(link.node, link.addr)
 		}
 	}
+	if dp.dur != nil {
+		// Recover before the listener opens: the decision point never
+		// serves (or gossips) state it has not replayed from the store.
+		if err := dp.recoverLocked(); err != nil {
+			return err
+		}
+	}
 	l, err := dp.cfg.Transport.Listen(dp.cfg.Addr)
 	if err != nil {
 		return fmt.Errorf("digruber: %s: %w", dp.cfg.Name, err)
@@ -593,10 +624,16 @@ func (dp *DecisionPoint) ExchangeNow() int { return dp.syncNow(false) }
 // strategy's implementation; force is passed through (contact even
 // dead-and-backed-off peers — the drain flush's mode).
 func (dp *DecisionPoint) syncNow(force bool) int {
+	var sent int
 	if dp.cfg.Strategy == Gossip {
-		return dp.gossipNow(force)
+		sent = dp.gossipNow(force)
+	} else {
+		sent = dp.exchangeNow(force)
 	}
-	return dp.exchangeNow(force)
+	// The round boundary doubles as the durability checkpoint cadence
+	// check — deterministic under a Manual clock, unlike a timer.
+	dp.maybeCheckpoint()
+	return sent
 }
 
 // exchangeNow is ExchangeNow with an override: force contacts even dead
@@ -749,9 +786,14 @@ func (dp *DecisionPoint) Stop() {
 // and exchange log, plus the per-peer exchange cursors and health. The
 // engine's site baseline survives (static knowledge is re-bootstrapped
 // from configuration on restart, per the paper's dissemination model).
+// With durability on, the write-ahead store survives the crash (that is
+// its whole purpose); the next Start replays it before serving.
 func (dp *DecisionPoint) Crash() {
 	dp.Stop()
 	dp.engine.DropDynamicState()
+	if dp.dur != nil {
+		dp.dur.crash()
+	}
 	dp.mu.Lock()
 	//lint:allow mapiter -- per-peer state reset with no cross-peer reads; order cannot matter
 	for _, l := range dp.peers {
@@ -799,7 +841,15 @@ func (dp *DecisionPoint) ResyncFromPeers() (int, string) {
 		if client == nil {
 			continue
 		}
-		reply, err := wire.Call[SnapshotArgs, SnapshotReply](client, MethodSnapshot, SnapshotArgs{From: dp.cfg.Name}, timeout)
+		args := SnapshotArgs{From: dp.cfg.Name}
+		if dp.dur != nil {
+			// Advertise what recovery already rebuilt, so the donor ships
+			// only the seq-gap instead of the whole view. Non-durable
+			// points keep requesting the full snapshot (nil Vector encodes
+			// byte-identically to the pre-durability request).
+			args.Vector = gossip.Cursors(dp.engine.OriginVector())
+		}
+		reply, err := wire.Call[SnapshotArgs, SnapshotReply](client, MethodSnapshot, args, timeout)
 		dp.mu.Lock()
 		if link != nil {
 			if err == nil {
@@ -814,6 +864,9 @@ func (dp *DecisionPoint) ResyncFromPeers() (int, string) {
 		}
 		imported := dp.engine.ImportSnapshot(reply.Dispatches)
 		dp.metrics.resyncImported.Add(int64(imported))
+		if dp.dur != nil {
+			dp.dur.noteBackfilled(imported)
+		}
 		return imported, name
 	}
 	return 0, ""

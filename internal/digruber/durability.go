@@ -1,0 +1,332 @@
+package digruber
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"digruber/internal/gruber"
+	"digruber/internal/wal"
+)
+
+// This file composes the gruber engine's durability surface with the
+// internal/wal log. With Config.Durability set, every dispatch record
+// that enters the engine's dynamic state is appended (and fsynced) to a
+// write-ahead log before the mutating call returns — so a Schedule or
+// Report handler only acks a dispatch that is already on stable
+// storage. Periodically the full engine state is checkpointed and the
+// log compacted. Recovery (the first Start, and every Start after a
+// Crash) replays checkpoint-then-log, truncates at the first torn or
+// corrupt record, and leaves the seq-gap to the Snapshot anti-entropy
+// path, which Restart drives with the recovered version vector so only
+// the gap is backfilled.
+
+// DurabilityConfig turns on write-ahead durability for a decision
+// point. Nil Config.Durability means no durability — no WAL, no
+// recovery, byte-identical behavior to pre-durability builds.
+type DurabilityConfig struct {
+	// Store is where the log and checkpoints live: wal.NewDirStore for
+	// real files, wal.NewMemStore for deterministic fault-injected
+	// tests.
+	Store wal.Store
+	// CheckpointEvery is how many write-ahead appends accumulate before
+	// a synchronization round takes an automatic checkpoint. 0 means
+	// the default (1024); negative means manual only (CheckpointNow).
+	CheckpointEvery int
+}
+
+// defaultCheckpointEvery bounds replay work: at most this many records
+// sit in the log before a round compacts them into a checkpoint.
+const defaultCheckpointEvery = 1024
+
+// walEntry is one write-ahead record: the dispatch exactly as it
+// entered dynamic state, and whether it entered a per-origin log
+// (Logged) or only the site view. Gob-encoded self-contained (a fresh
+// encoder per record), so any prefix of the log decodes without the
+// truncated tail.
+type walEntry struct {
+	D      gruber.Dispatch
+	Logged bool
+}
+
+// RecoveryStats describes what the last recovery pass did — the
+// white-box record behind the wal/recovered, wal/truncated and
+// wal/backfilled gauges and the ext-recovery experiment's assertions.
+type RecoveryStats struct {
+	// CheckpointRestored reports that a checkpoint was found, decoded
+	// and folded back into the engine.
+	CheckpointRestored bool
+	// CheckpointCorrupt reports that a checkpoint existed but failed
+	// framing, checksum or decoding; recovery then proceeded from the
+	// log alone (plus peer backfill).
+	CheckpointCorrupt bool
+	// Recovered counts write-ahead records replayed into the engine.
+	Recovered int
+	// Truncated reports that the log ended in a torn or corrupt record;
+	// TruncateReason says which kind (wal.ReasonTornHeader etc.).
+	Truncated      bool
+	TruncateReason string
+	// Backfilled counts dispatch records the post-recovery peer resync
+	// imported — the seq-gap the truncation (or the crash itself) left.
+	Backfilled int
+	// Restore aggregates the engine-side replay counts.
+	Restore gruber.RestoreStats
+}
+
+// durability is the per-decision-point durability state.
+type durability struct {
+	log             *wal.Log
+	checkpointEvery int
+
+	mu sync.Mutex
+	// needRecover is true from construction until the first successful
+	// recovery, and again after a Crash — Start must replay the store
+	// before the listener opens.
+	needRecover bool
+	// Cumulative counters behind the wal/* gauges.
+	recovered   int64
+	truncations int64
+	backfilled  int64
+	// lastCheckpoint is when the latest checkpoint was taken (zero
+	// before the first); appendsAtCkpt is the log's append count at
+	// that moment, the base for the CheckpointEvery cadence.
+	lastCheckpoint time.Time
+	appendsAtCkpt  int64
+	// last is the most recent recovery pass, for LastRecovery.
+	last RecoveryStats
+}
+
+func newDurability(cfg *DurabilityConfig) *durability {
+	every := cfg.CheckpointEvery
+	if every == 0 {
+		every = defaultCheckpointEvery
+	}
+	return &durability{
+		log:             wal.Open(cfg.Store),
+		checkpointEvery: every,
+		needRecover:     true,
+	}
+}
+
+// appendEntry is the engine's appender hook: encode and append one
+// write-ahead record. It runs under the engine lock, which is exactly
+// the point — the log order is the state-mutation order, and the
+// mutating handler cannot return (and its caller cannot be acked)
+// until the record is synced. Append errors (a full or failing disk)
+// are counted in the log's stats and surface on the wal/append_errors
+// gauge; the decision point keeps serving, trading durability of the
+// affected records for availability.
+func (dur *durability) appendEntry(d gruber.Dispatch, logged bool) {
+	payload, err := encodeWALEntry(walEntry{D: d, Logged: logged})
+	if err != nil {
+		return // gob cannot fail on this fixed shape; nothing sane to do if it did
+	}
+	dur.log.Append(payload)
+}
+
+// checkpointNow takes one checkpoint: the engine state is captured and
+// persisted under the engine lock (see Engine.CheckpointState), which
+// compacts the log without racing concurrent appends.
+func (dur *durability) checkpointNow(e *gruber.Engine, now time.Time) error {
+	err := e.CheckpointState(func(st gruber.EngineState) error {
+		payload, err := encodeEngineState(st)
+		if err != nil {
+			return err
+		}
+		return dur.log.Checkpoint(payload)
+	})
+	if err != nil {
+		return err
+	}
+	stats := dur.log.Stats()
+	dur.mu.Lock()
+	dur.lastCheckpoint = now
+	dur.appendsAtCkpt = stats.Appends
+	dur.mu.Unlock()
+	return nil
+}
+
+// encodeWALEntry / decodeWALEntry are the per-record codec. A fresh
+// gob encoder per record keeps every record self-contained (type
+// descriptors included), so truncating the log at any record boundary
+// leaves a decodable prefix.
+func encodeWALEntry(e walEntry) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeWALEntry(payload []byte) (walEntry, error) {
+	var e walEntry
+	err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e)
+	return e, err
+}
+
+// encodeEngineState / decodeEngineState are the checkpoint codec.
+// gruber.EngineState is sorted slices all the way down, so the same
+// state encodes byte-identically — a replayed run produces a
+// byte-identical store image.
+func encodeEngineState(st gruber.EngineState) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeEngineState(payload []byte) (gruber.EngineState, error) {
+	var st gruber.EngineState
+	err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&st)
+	return st, err
+}
+
+// addRestore accumulates engine replay counts (gruber keeps its adder
+// unexported; the fields are the contract).
+func addRestore(dst *gruber.RestoreStats, o gruber.RestoreStats) {
+	dst.Logged += o.Logged
+	dst.Applied += o.Applied
+	dst.Expired += o.Expired
+	dst.Duplicates += o.Duplicates
+}
+
+// recoverLocked replays the durability store into the engine. Called
+// from Start (which holds dp.mu) before the listener opens, so the
+// decision point never serves un-recovered state. No-op unless a
+// recovery is pending (first Start, or Start after Crash).
+//
+// The sequence is: read checkpoint and log (wal.Log.Recover truncates
+// the readable log at the first torn or corrupt record), restore the
+// checkpoint, replay the surviving records in append order, then take
+// a fresh checkpoint — which both compacts the replayed records and
+// discards any corrupt tail still sitting in the on-store log file.
+func (dp *DecisionPoint) recoverLocked() error {
+	dur := dp.dur
+	dur.mu.Lock()
+	need := dur.needRecover
+	dur.mu.Unlock()
+	if !need {
+		return nil
+	}
+	rec, err := dur.log.Recover()
+	if err != nil {
+		return fmt.Errorf("digruber: %s: wal recovery: %w", dp.cfg.Name, err)
+	}
+	var rs RecoveryStats
+	rs.Truncated = rec.Truncated
+	rs.TruncateReason = rec.Reason
+	rs.CheckpointCorrupt = rec.CheckpointCorrupt
+	if len(rec.Checkpoint) > 0 && !rec.CheckpointCorrupt {
+		st, derr := decodeEngineState(rec.Checkpoint)
+		if derr != nil {
+			// Framing and checksum passed but the content did not decode:
+			// treat exactly like a corrupt checkpoint — start empty and
+			// lean on the log plus peer backfill.
+			rs.CheckpointCorrupt = true
+		} else {
+			addRestore(&rs.Restore, dp.engine.RestoreState(st))
+			rs.CheckpointRestored = true
+		}
+	}
+	for _, payload := range rec.Records {
+		en, derr := decodeWALEntry(payload)
+		if derr != nil {
+			// A checksummed record that does not decode is corruption the
+			// CRC missed (or a software bug); same contract as a torn
+			// record — stop replaying here, never panic, report it.
+			rs.Truncated = true
+			if rs.TruncateReason == "" {
+				rs.TruncateReason = "undecodable record"
+			}
+			break
+		}
+		addRestore(&rs.Restore, dp.engine.RestoreRecord(en.D, en.Logged))
+		rs.Recovered++
+	}
+	if err := dur.checkpointNow(dp.engine, dp.cfg.Clock.Now()); err != nil {
+		return fmt.Errorf("digruber: %s: post-recovery checkpoint: %w", dp.cfg.Name, err)
+	}
+	dur.mu.Lock()
+	dur.needRecover = false
+	dur.recovered += int64(rs.Recovered)
+	if rs.Truncated {
+		dur.truncations++
+	}
+	dur.last = rs
+	dur.mu.Unlock()
+	return nil
+}
+
+// noteBackfilled counts snapshot records imported by the post-recovery
+// resync into the last recovery's record and the cumulative gauge.
+func (dur *durability) noteBackfilled(n int) {
+	if n <= 0 {
+		return
+	}
+	dur.mu.Lock()
+	dur.backfilled += int64(n)
+	dur.last.Backfilled += n
+	dur.mu.Unlock()
+}
+
+// crash drops the open log segment handle (the store image survives —
+// that is the point) and arms recovery for the next Start.
+func (dur *durability) crash() {
+	dur.log.Close()
+	dur.mu.Lock()
+	dur.needRecover = true
+	dur.mu.Unlock()
+}
+
+// CheckpointNow forces a durability checkpoint: the engine state is
+// written to the store and the write-ahead log is compacted. No-op
+// (nil) when durability is off.
+func (dp *DecisionPoint) CheckpointNow() error {
+	if dp.dur == nil {
+		return nil
+	}
+	return dp.dur.checkpointNow(dp.engine, dp.cfg.Clock.Now())
+}
+
+// maybeCheckpoint takes an automatic checkpoint when CheckpointEvery
+// appends have accumulated since the last one. Called at the end of
+// every synchronization round — a deterministic hook under the Manual
+// clock, unlike a background timer. Checkpoint errors are deliberately
+// swallowed here: the WAL still holds every record, so a failed
+// checkpoint costs replay time, not durability.
+func (dp *DecisionPoint) maybeCheckpoint() {
+	dur := dp.dur
+	if dur == nil || dur.checkpointEvery < 0 {
+		return
+	}
+	appends := dur.log.Stats().Appends
+	dur.mu.Lock()
+	due := appends-dur.appendsAtCkpt >= int64(dur.checkpointEvery)
+	dur.mu.Unlock()
+	if due {
+		_ = dur.checkpointNow(dp.engine, dp.cfg.Clock.Now())
+	}
+}
+
+// LastRecovery returns what the most recent recovery pass did (the
+// zero value before any recovery, or when durability is off).
+func (dp *DecisionPoint) LastRecovery() RecoveryStats {
+	if dp.dur == nil {
+		return RecoveryStats{}
+	}
+	dp.dur.mu.Lock()
+	defer dp.dur.mu.Unlock()
+	return dp.dur.last
+}
+
+// WALStats exposes the underlying log's counters (zero when durability
+// is off) — for tests and the digruber-top WAL columns.
+func (dp *DecisionPoint) WALStats() wal.Stats {
+	if dp.dur == nil {
+		return wal.Stats{}
+	}
+	return dp.dur.log.Stats()
+}

@@ -195,6 +195,51 @@ func (dp *DecisionPoint) registerMetrics(reg *tsdb.Registry) {
 		return float64(dp.view.Len())
 	})
 
+	// Durability gauges — registered only when a write-ahead store is
+	// wired, so non-durable decision points keep their series set (and
+	// any snapshot consumers) unchanged.
+	if dp.dur != nil {
+		dur := dp.dur
+		reg.GaugeFunc(p+"wal/appends", func(now time.Time) float64 {
+			return float64(dur.log.Stats().Appends)
+		})
+		reg.GaugeFunc(p+"wal/bytes", func(now time.Time) float64 {
+			return float64(dur.log.Stats().Bytes)
+		})
+		reg.GaugeFunc(p+"wal/checkpoints", func(now time.Time) float64 {
+			return float64(dur.log.Stats().Checkpoints)
+		})
+		reg.GaugeFunc(p+"wal/append_errors", func(now time.Time) float64 {
+			return float64(dur.log.Stats().AppendErrors)
+		})
+		reg.GaugeFunc(p+"wal/recovered", func(now time.Time) float64 {
+			dur.mu.Lock()
+			defer dur.mu.Unlock()
+			return float64(dur.recovered)
+		})
+		reg.GaugeFunc(p+"wal/truncated", func(now time.Time) float64 {
+			dur.mu.Lock()
+			defer dur.mu.Unlock()
+			return float64(dur.truncations)
+		})
+		reg.GaugeFunc(p+"wal/backfilled", func(now time.Time) float64 {
+			dur.mu.Lock()
+			defer dur.mu.Unlock()
+			return float64(dur.backfilled)
+		})
+		// checkpoint_age_s is the staleness bound on replay work: how
+		// long since the log was last compacted into a checkpoint. Zero
+		// until the first checkpoint (recovery takes one on every Start).
+		reg.GaugeFunc(p+"wal/checkpoint_age_s", func(now time.Time) float64 {
+			dur.mu.Lock()
+			defer dur.mu.Unlock()
+			if dur.lastCheckpoint.IsZero() {
+				return 0
+			}
+			return now.Sub(dur.lastCheckpoint).Seconds()
+		})
+	}
+
 	// Engine gauges.
 	reg.GaugeFunc(p+"engine/queries", func(now time.Time) float64 {
 		return float64(dp.engine.Stats().Queries)

@@ -172,6 +172,15 @@ type GossipReply struct {
 // so the donor can mark that peer alive again.
 type SnapshotArgs struct {
 	From string
+	// Vector, when non-empty, is the requester's version vector as a
+	// sorted cursor list: a durably-recovered decision point advertises
+	// what it already replayed from its write-ahead store, and the donor
+	// ships only the seq-gap (plus unstamped records). Nil means "send
+	// everything" — the pre-durability request. Appended as a trailing
+	// extension field: gob elides the nil slice, so vector-less requests
+	// stay byte-identical to pre-durability builds
+	// (TestSnapshotWireCompat).
+	Vector []gossip.Cursor
 }
 
 // SnapshotReply carries the donor's complete unexpired dispatch view, in

@@ -1,0 +1,74 @@
+package digruber_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"digruber/internal/digruber"
+	"digruber/internal/gossip"
+)
+
+// SnapshotArgsV9 is the pre-durability snapshot request (through PR 9):
+// just the requester's name, no version vector.
+type SnapshotArgsV9 struct {
+	From string
+}
+
+// TestSnapshotWireCompat is the append-only gate for the durability
+// era's Vector field: a vector-less request — what every non-durable
+// decision point still sends — encodes byte-identically to the PR-9
+// shape, and the field costs bytes only when a recovered point actually
+// advertises its replayed state.
+func TestSnapshotWireCompat(t *testing.T) {
+	oldMsg := primedEncode(t, SnapshotArgsV9{From: "p"}, SnapshotArgsV9{From: "dp-3"})
+	newMsg := primedEncode(t, digruber.SnapshotArgs{From: "p"}, digruber.SnapshotArgs{From: "dp-3"})
+	if old, new := valueBody(t, oldMsg), valueBody(t, newMsg); !bytes.Equal(old, new) {
+		t.Fatalf("vector-less snapshot request value encoding changed:\n old %x\n new %x", old, new)
+	}
+
+	withVector := digruber.SnapshotArgs{
+		From:   "dp-3",
+		Vector: []gossip.Cursor{{Origin: "dp-0", Seq: 12}, {Origin: "dp-3", Seq: 4}},
+	}
+	extended := primedEncode(t, digruber.SnapshotArgs{From: "p"}, withVector)
+	if bytes.Equal(valueBody(t, newMsg), valueBody(t, extended)) {
+		t.Fatal("setting Vector did not change the encoding")
+	}
+}
+
+// TestSnapshotCrossDecode: PR-9-era and current shapes interoperate in
+// both directions around the Vector field — an old donor asked by a
+// recovered point simply serves the full snapshot, and a new donor
+// reads an old request as vector-less.
+func TestSnapshotCrossDecode(t *testing.T) {
+	// Old requester → new donor: Vector stays nil (full snapshot).
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(SnapshotArgsV9{From: "dp-3"}); err != nil {
+		t.Fatal(err)
+	}
+	var got digruber.SnapshotArgs
+	if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatalf("new donor decoding old request: %v", err)
+	}
+	if got.From != "dp-3" || got.Vector != nil {
+		t.Fatalf("decoded %+v, want From dp-3 and nil Vector", got)
+	}
+
+	// New requester (vector set) → old donor: the unknown trailing field
+	// is skipped, the request still parses.
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(digruber.SnapshotArgs{
+		From:   "dp-3",
+		Vector: []gossip.Cursor{{Origin: "dp-0", Seq: 12}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var old SnapshotArgsV9
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatalf("old donor decoding new request: %v", err)
+	}
+	if old.From != "dp-3" {
+		t.Fatalf("decoded %+v, want From dp-3", old)
+	}
+}

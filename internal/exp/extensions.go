@@ -42,6 +42,7 @@ func extensionExperiments() []Experiment {
 		{ID: "ext-elastic", Title: "Extension: elastic fleet controller with graceful drain", Run: runElasticExtension},
 		{ID: "ext-gossip", Title: "Extension: peer-sampling gossip dissemination at 10-100 decision points", Run: runGossipExtension},
 		{ID: "ext-slo", Title: "Extension: per-VO SLO plane with burn-rate alerting", Run: runSLOExtension},
+		{ID: "ext-recovery", Title: "Extension: write-ahead durability under a fleet-wide crash", Run: runRecoveryExtension},
 	}
 }
 

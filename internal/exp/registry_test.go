@@ -16,7 +16,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"ablation-dissemination", "ablation-topology", "ablation-selector", "ablation-timeout",
 		"ext-coupling", "ext-gt4c", "ext-dynamic-live", "ext-lan", "ext-trace-replay", "ext-failure",
 		"ext-trace-breakdown", "ext-divergence", "ext-overload", "ext-elastic", "ext-gossip",
-		"ext-slo",
+		"ext-slo", "ext-recovery",
 	}
 	for _, id := range want {
 		e, ok := Lookup(id)

@@ -1,0 +1,243 @@
+package gruber
+
+import (
+	"sort"
+	"time"
+)
+
+// This file is the engine's durability surface. The engine itself knows
+// nothing about logs on disk; it exposes three things the digruber
+// durability layer composes with internal/wal:
+//
+//   - an appender hook, invoked under the engine lock for every dispatch
+//     record that enters dynamic state (own, merged, gossiped or
+//     snapshot-imported) — the write-ahead append, ordered exactly as
+//     the state mutations it shadows;
+//   - ExportState, a deterministic full image of the dynamic state (the
+//     per-origin logs with their compaction floors, plus the unexpired
+//     view) — the checkpoint payload;
+//   - RestoreState / RestoreRecord, the replay path: checkpoint first,
+//     then WAL records in append order, rebuilding the same logs, seen
+//     set and site views without re-triggering the appender.
+//
+// Sequence continuity is the point of persisting the log floors: a
+// recovered engine resumes its own numbering at the pre-crash high-water
+// mark instead of restarting from 1, so peers see a continued
+// incarnation (no MergeGossip reset, no renumbered duplicates) and the
+// drain protocol's high-water promise survives the crash.
+
+// OriginState is one origin's dispatch log as persisted in a checkpoint:
+// the compaction floor plus the retained records (ascending, contiguous
+// sequence numbers starting at Floor+1).
+type OriginState struct {
+	Origin  string
+	Floor   uint64
+	Records []Dispatch
+}
+
+// EngineState is the engine's dynamic state as persisted by the
+// durability layer. Slices, not maps, in sorted order: gob encodes maps
+// in randomized order, and a checkpoint must encode byte-identically
+// for a replayed run to produce a byte-identical store image.
+type EngineState struct {
+	// Origins holds every per-origin log, sorted by origin name.
+	Origins []OriginState
+	// View holds the unexpired dispatches folded into site views that
+	// are not retained in any log (snapshot imports, mesh merges), in
+	// ExportSnapshot order. Log records double as view state on restore,
+	// so they are not repeated here.
+	View []Dispatch
+}
+
+// RestoreStats counts what a recovery replay rebuilt.
+type RestoreStats struct {
+	// Logged counts records re-entered into per-origin logs.
+	Logged int
+	// Applied counts dispatches folded back into site views.
+	Applied int
+	// Expired counts records skipped because their jobs had finished.
+	Expired int
+	// Duplicates counts records the seen set already covered (checkpoint
+	// and log overlap after an interrupted compaction, or a record both
+	// imported and logged).
+	Duplicates int
+}
+
+func (s *RestoreStats) add(o RestoreStats) {
+	s.Logged += o.Logged
+	s.Applied += o.Applied
+	s.Expired += o.Expired
+	s.Duplicates += o.Duplicates
+}
+
+// SetAppender installs the write-ahead hook: fn is called under the
+// engine lock, in state-mutation order, for every dispatch record that
+// enters dynamic state. logged reports whether the record entered a
+// per-origin log (and must restore into one) or only the site view.
+// The hook must not call back into the engine. Nil disables it.
+func (e *Engine) SetAppender(fn func(d Dispatch, logged bool)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.appender = fn
+}
+
+// appendLocked invokes the appender hook if one is set. Caller holds e.mu.
+func (e *Engine) appendLocked(d Dispatch, logged bool) {
+	if e.appender != nil {
+		e.appender(d, logged)
+	}
+}
+
+// ExportState captures the engine's dynamic state for a checkpoint, in
+// deterministic order.
+func (e *Engine) ExportState() EngineState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.exportStateLocked()
+}
+
+// CheckpointState exports the dynamic state and hands it to persist
+// while the engine lock is still held. The lock is what makes the
+// checkpoint atomic with the write-ahead stream: the appender hook runs
+// under the same lock, so no record can slip in between the capture and
+// the log compaction that persist performs — a record is either inside
+// the exported state or appended after the compacted log restarts.
+// persist must not call back into the engine.
+func (e *Engine) CheckpointState(persist func(EngineState) error) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return persist(e.exportStateLocked())
+}
+
+// exportStateLocked builds the checkpoint image. Caller holds e.mu.
+func (e *Engine) exportStateLocked() EngineState {
+	now := e.clock.Now()
+	var st EngineState
+	origins := make([]string, 0, len(e.logs))
+	for origin := range e.logs {
+		origins = append(origins, origin)
+	}
+	sort.Strings(origins)
+	inLog := make(map[string]struct{})
+	for _, origin := range origins {
+		l := e.logs[origin]
+		recs := make([]Dispatch, len(l.recs))
+		copy(recs, l.recs)
+		for _, d := range recs {
+			inLog[d.JobID] = struct{}{}
+		}
+		st.Origins = append(st.Origins, OriginState{Origin: origin, Floor: l.dropped, Records: recs})
+	}
+	var view []Dispatch
+	for _, name := range e.order {
+		sv := e.sites[name]
+		sv.pruneLocked(now, &e.stats)
+		for _, d := range sv.pending {
+			if _, dup := inLog[d.JobID]; !dup {
+				view = append(view, d)
+			}
+		}
+	}
+	sort.Slice(view, func(i, j int) bool {
+		if !view[i].At.Equal(view[j].At) {
+			return view[i].At.Before(view[j].At)
+		}
+		return view[i].JobID < view[j].JobID
+	})
+	st.View = view
+	return st
+}
+
+// RestoreState folds a checkpoint back into the engine: log floors and
+// records first (re-establishing sequence continuity), then the
+// loose view records. Meant for a freshly constructed or crashed
+// (DropDynamicState) engine; on a non-empty one the seen set
+// deduplicates, making a replayed restore idempotent.
+func (e *Engine) RestoreState(st EngineState) RestoreStats {
+	now := e.clock.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var rs RestoreStats
+	for _, o := range st.Origins {
+		if o.Origin == "" {
+			continue
+		}
+		l := e.logLocked(o.Origin)
+		if l.hi() < o.Floor {
+			// Adopt the floor even with no retained records: for the own
+			// log this IS the sequence numbering; for relay logs it is the
+			// version-vector position compaction had reached.
+			l.dropped = o.Floor
+		}
+		for _, d := range o.Records {
+			e.restoreLocked(d, true, now, &rs)
+		}
+	}
+	for _, d := range st.View {
+		e.restoreLocked(d, false, now, &rs)
+	}
+	return rs
+}
+
+// RestoreRecord replays one write-ahead record: the same mutation the
+// appender shadowed at run time, minus the appender itself. Records
+// must be replayed in append order; the per-origin contiguity cases
+// mirror MergeGossip (a gap means the log was compacted between the
+// checkpoint and the append, so the floor fast-forwards).
+func (e *Engine) RestoreRecord(d Dispatch, logged bool) RestoreStats {
+	now := e.clock.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var rs RestoreStats
+	e.restoreLocked(d, logged, now, &rs)
+	return rs
+}
+
+// restoreLocked is the shared replay step. Caller holds e.mu.
+func (e *Engine) restoreLocked(d Dispatch, logged bool, now time.Time, rs *RestoreStats) {
+	if logged && d.Origin != "" && d.Seq > 0 {
+		l := e.logLocked(d.Origin)
+		switch hi := l.hi(); {
+		case d.Seq == hi+1:
+			l.recs = append(l.recs, d)
+			rs.Logged++
+		case d.Seq > hi+1:
+			l.recs = append([]Dispatch(nil), d)
+			l.dropped = d.Seq - 1
+			rs.Logged++
+		default:
+			// Already covered: checkpoint and stale log overlap after an
+			// interrupted compaction. Keep the log as is.
+		}
+	}
+	if !e.markSeenLocked(d) {
+		rs.Duplicates++
+		return
+	}
+	if d.Expired(now) {
+		rs.Expired++
+		return
+	}
+	if sv, ok := e.sites[d.Site]; ok {
+		sv.applyLocked(d)
+		rs.Applied++
+	}
+}
+
+// ExportSnapshotSince is ExportSnapshot filtered by the requester's
+// version vector: sequence-stamped dispatches the vector already covers
+// are omitted, so a durably-recovered decision point backfills only its
+// seq-gap instead of re-importing everything it replayed from disk.
+// Unstamped records (Seq 0) are always included — coverage cannot be
+// proven for them, and the importer's dedup discards repeats.
+func (e *Engine) ExportSnapshotSince(vv map[string]uint64) []Dispatch {
+	full := e.ExportSnapshot()
+	out := full[:0]
+	for _, d := range full {
+		if d.Seq > 0 && d.Origin != "" && d.Seq <= vv[d.Origin] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -95,6 +95,10 @@ type Engine struct {
 	// contiguous run of sequence-numbered records.
 	logs  map[string]*originLog
 	stats EngineStats
+	// appender is the write-ahead hook (see SetAppender in durable.go):
+	// called under e.mu for every dispatch record entering dynamic
+	// state, in mutation order. Nil when durability is off.
+	appender func(d Dispatch, logged bool)
 }
 
 // EngineStats counts engine activity.
@@ -298,6 +302,10 @@ func (e *Engine) RecordDispatch(d Dispatch) {
 	}
 	e.stats.LocalDispatches++
 	d = e.logLocked(e.name).appendNext(d)
+	// Write-ahead append happens before RecordDispatch returns: the
+	// Schedule/Report handler only acks after this, so an acked dispatch
+	// is always durable (zero acked-dispatch loss across a crash).
+	e.appendLocked(d, true)
 	if sv, ok := e.sites[d.Site]; ok {
 		sv.applyLocked(d)
 	}
@@ -327,6 +335,7 @@ func (e *Engine) MergeRemote(dispatches []Dispatch) int {
 		if !e.markSeenLocked(d) {
 			continue
 		}
+		e.appendLocked(d, false)
 		e.stats.RemoteDispatches++
 		if d.Expired(now) {
 			continue // stale news: job already assumed finished

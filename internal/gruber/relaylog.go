@@ -200,6 +200,7 @@ func (e *Engine) MergeGossip(from string, records []Dispatch) GossipMergeStats {
 			st.Resets++
 		}
 		st.Stored++
+		e.appendLocked(d, true)
 		if d.Origin != from {
 			st.Relayed++
 		}

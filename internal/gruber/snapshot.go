@@ -50,9 +50,30 @@ func (e *Engine) ImportSnapshot(dispatches []Dispatch) int {
 	defer e.mu.Unlock()
 	merged := 0
 	for _, d := range dispatches {
+		logged := false
+		if d.Origin == e.name && d.Seq > 0 {
+			// Re-adopt own-origin records into the own log: the own log is
+			// the numbering authority, and a rejoining engine must never
+			// re-issue a sequence number peers already hold for it. Without
+			// this, the next local dispatch after a resync would reuse a
+			// live sequence number, which peers can only interpret as an
+			// origin restart (MergeGossip's reset path). Records may arrive
+			// in view order rather than sequence order; the fast-forward
+			// case still leaves hi at the snapshot's own-origin maximum.
+			logged = true
+			l := e.logLocked(e.name)
+			switch hi := l.hi(); {
+			case d.Seq == hi+1:
+				l.recs = append(l.recs, d)
+			case d.Seq > hi+1:
+				l.recs = append([]Dispatch(nil), d)
+				l.dropped = d.Seq - 1
+			}
+		}
 		if !e.markSeenLocked(d) {
 			continue
 		}
+		e.appendLocked(d, logged)
 		e.stats.RemoteDispatches++
 		if d.Expired(now) {
 			continue

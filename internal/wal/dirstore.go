@@ -1,0 +1,86 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// DirStore is the Store over real os files in one directory — what the
+// CLI binaries (cmd/digruber-broker) run the log on. Names are flat
+// (no separators); Rename maps to os.Rename, which is atomic on POSIX
+// filesystems, satisfying the checkpoint swap's crash contract.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore returns a store rooted at dir, creating it if needed.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// path validates a flat name and joins it under the store directory.
+func (s *DirStore) path(name string) (string, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") || name == "." || name == ".." {
+		return "", fmt.Errorf("wal: bad store file name %q", name)
+	}
+	return filepath.Join(s.dir, name), nil
+}
+
+// Open opens the named file for reading.
+func (s *DirStore) Open(name string) (io.ReadCloser, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.Open(p)
+}
+
+// Create truncates (or creates) the named file and opens it for writing.
+func (s *DirStore) Create(name string) (File, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.OpenFile(p, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+// Append opens the named file for appending, creating it if absent.
+func (s *DirStore) Append(name string) (File, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.OpenFile(p, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+}
+
+// Rename atomically replaces newName with oldName's content.
+func (s *DirStore) Rename(oldName, newName string) error {
+	po, err := s.path(oldName)
+	if err != nil {
+		return err
+	}
+	pn, err := s.path(newName)
+	if err != nil {
+		return err
+	}
+	return os.Rename(po, pn)
+}
+
+// Remove deletes the named file (no error if absent).
+func (s *DirStore) Remove(name string) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	err = os.Remove(p)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}

@@ -1,0 +1,231 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"sync"
+)
+
+// Store file names. The checkpoint is one framed record holding the
+// caller's full snapshot; the log holds everything appended since the
+// last checkpoint. A checkpoint swap writes the snapshot to a temp
+// file, fsyncs it, atomically renames it over the checkpoint, and only
+// then resets the log — so a crash at any point leaves either the old
+// (checkpoint, log) pair or the new checkpoint with a stale log, and a
+// stale log only replays records the snapshot already contains, which
+// the caller's restore path deduplicates.
+const (
+	logName        = "wal.log"
+	checkpointName = "checkpoint"
+	checkpointTmp  = "checkpoint.tmp"
+)
+
+// Stats counts a log's activity since Open.
+type Stats struct {
+	// Appends counts records durably appended; AppendErrors counts
+	// Append calls that failed (write or fsync error) — those records
+	// may not survive a crash.
+	Appends      int64
+	AppendErrors int64
+	// Bytes is the framed bytes appended to the log (checkpoints not
+	// included).
+	Bytes int64
+	// Checkpoints counts completed checkpoint swaps.
+	Checkpoints int64
+}
+
+// Log is one write-ahead log over a Store: Recover reads it back,
+// Append adds one durable record, Checkpoint compacts it under a new
+// snapshot. All methods are safe for concurrent use.
+type Log struct {
+	store Store
+
+	mu    sync.Mutex
+	seg   File // open log segment; nil until the first append needs it
+	stats Stats
+}
+
+// Open returns a log over the store. It reads nothing — call Recover
+// before the first Append to adopt (and compact) any prior state.
+func Open(store Store) *Log {
+	return &Log{store: store}
+}
+
+// Recovered is what Recover found on the store.
+type Recovered struct {
+	// Checkpoint is the last durable snapshot payload (nil when none
+	// was ever written, or when the checkpoint itself failed its CRC —
+	// see CheckpointCorrupt).
+	Checkpoint []byte
+	// CheckpointCorrupt reports a checkpoint file that existed but did
+	// not decode to exactly one valid record; recovery proceeds from
+	// the log alone and the caller backfills the difference from peers.
+	CheckpointCorrupt bool
+	// Records are the log's valid-prefix payloads, in append order.
+	Records [][]byte
+	// Truncated reports a torn or corrupt log tail; ValidBytes is where
+	// the valid prefix ends and Reason is the decoder's verdict.
+	Truncated  bool
+	ValidBytes int64
+	Reason     string
+}
+
+// Recover reads the checkpoint and log back. It returns an error only
+// for store I/O failures; torn or corrupt content is never an error —
+// it is truncated at the first bad record and reported. Recover closes
+// any open segment, so it can be called again after a modeled crash;
+// callers normally follow a recovery by replaying the records and
+// taking a fresh Checkpoint, which also discards the corrupt tail.
+func (l *Log) Recover() (Recovered, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg != nil {
+		l.seg.Close()
+		l.seg = nil
+	}
+	var rec Recovered
+	ck, err := l.readAll(checkpointName)
+	if err != nil {
+		return Recovered{}, err
+	}
+	if ck != nil {
+		d := DecodeAll(ck)
+		if d.Truncated || len(d.Records) != 1 {
+			rec.CheckpointCorrupt = true
+		} else {
+			rec.Checkpoint = d.Records[0]
+		}
+	}
+	logData, err := l.readAll(logName)
+	if err != nil {
+		return Recovered{}, err
+	}
+	d := DecodeAll(logData)
+	rec.Records = d.Records
+	rec.Truncated = d.Truncated
+	rec.ValidBytes = d.ValidBytes
+	rec.Reason = d.Reason
+	return rec, nil
+}
+
+// readAll returns the named file's content, nil when it does not exist.
+func (l *Log) readAll(name string) ([]byte, error) {
+	r, err := l.store.Open(name)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	data, err := io.ReadAll(r)
+	cerr := r.Close()
+	if err != nil {
+		return nil, fmt.Errorf("wal: read %s: %w", name, err)
+	}
+	if cerr != nil {
+		return nil, fmt.Errorf("wal: close %s: %w", name, cerr)
+	}
+	return data, nil
+}
+
+// Append frames payload and appends it durably (write + fsync) to the
+// log. On failure the record may not survive a crash: the error is
+// returned, counted, and the segment handle is dropped so the next
+// append reopens it — the log itself keeps working.
+func (l *Log) Append(payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(payload)
+}
+
+func (l *Log) appendLocked(payload []byte) error {
+	if l.seg == nil {
+		seg, err := l.store.Append(logName)
+		if err != nil {
+			l.stats.AppendErrors++
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.seg = seg
+	}
+	frame := appendRecord(nil, payload)
+	if _, err := l.seg.Write(frame); err != nil {
+		l.failSegLocked()
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if err := l.seg.Sync(); err != nil {
+		l.failSegLocked()
+		return fmt.Errorf("wal: append sync: %w", err)
+	}
+	l.stats.Appends++
+	l.stats.Bytes += int64(len(frame))
+	return nil
+}
+
+// failSegLocked counts a failed append and drops the segment handle.
+func (l *Log) failSegLocked() {
+	l.stats.AppendErrors++
+	if l.seg != nil {
+		l.seg.Close()
+		l.seg = nil
+	}
+}
+
+// Checkpoint writes snapshot as the new durable checkpoint and resets
+// the log — the compaction step. The swap order (write temp, fsync,
+// rename, then truncate the log) keeps every crash point recoverable.
+func (l *Log) Checkpoint(snapshot []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	tmp, err := l.store.Create(checkpointTmp)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(appendRecord(nil, snapshot)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: checkpoint write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("wal: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint close: %w", err)
+	}
+	if err := l.store.Rename(checkpointTmp, checkpointName); err != nil {
+		return fmt.Errorf("wal: checkpoint swap: %w", err)
+	}
+	// The snapshot is durable; everything in the log is now redundant.
+	if l.seg != nil {
+		l.seg.Close()
+	}
+	seg, err := l.store.Create(logName)
+	if err != nil {
+		l.seg = nil
+		return fmt.Errorf("wal: checkpoint truncate: %w", err)
+	}
+	l.seg = seg
+	l.stats.Checkpoints++
+	return nil
+}
+
+// Close closes the open segment, if any. The log can be reopened by a
+// later Recover.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.seg == nil {
+		return nil
+	}
+	err := l.seg.Close()
+	l.seg = nil
+	return err
+}
+
+// Stats returns a copy of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}

@@ -1,0 +1,41 @@
+// Package wal is the decision point's durability layer: a write-ahead
+// log of length-prefixed, CRC-checksummed records plus checkpointed
+// snapshots with log compaction, over a pluggable Store. The package is
+// deliberately payload-agnostic — it frames and recovers opaque byte
+// records; the digruber layer decides what a record means — so the
+// decoder can be fuzzed and the whole package stays free of wire types.
+//
+// Two stores ship with it: MemStore, an in-memory store with
+// deterministic fault injection (torn writes, bit flips, truncation,
+// failed fsync) for hermetic tests, and DirStore over real os files for
+// the CLI binaries.
+package wal
+
+import "io"
+
+// File is an open store file being written: a writer with the two
+// durability verbs the log needs. Sync is the fsync barrier — data
+// written before a successful Sync survives a crash.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// Store abstracts the directory a log lives in. Implementations must
+// make Rename atomic with respect to crashes (the checkpoint swap
+// depends on it) and must return an error satisfying
+// errors.Is(err, fs.ErrNotExist) from Open when the name is absent.
+type Store interface {
+	// Open opens the named file for reading from the start.
+	Open(name string) (io.ReadCloser, error)
+	// Create opens the named file for writing, truncating any previous
+	// content.
+	Create(name string) (File, error)
+	// Append opens the named file for appending, creating it if absent.
+	Append(name string) (File, error)
+	// Rename atomically replaces newName with oldName's content.
+	Rename(oldName, newName string) error
+	// Remove deletes the named file (no error if absent).
+	Remove(name string) error
+}

@@ -1,0 +1,276 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"digruber/internal/netsim"
+)
+
+// payloads the tests append: varied sizes, including empty.
+func testPayloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(strings.Repeat(fmt.Sprintf("rec-%03d|", i), i%5+1))
+	}
+	if n > 2 {
+		out[2] = []byte{} // empty payload must round-trip too
+	}
+	return out
+}
+
+func appendAll(t *testing.T, l *Log, payloads [][]byte) {
+	t.Helper()
+	for i, p := range payloads {
+		if err := l.Append(p); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func wantRecords(t *testing.T, got [][]byte, want [][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAppendRecover is the basic round trip: everything appended comes
+// back, in order, after a modeled crash (the Log object is reopened).
+func TestAppendRecover(t *testing.T) {
+	store := NewMemStore()
+	l := Open(store)
+	if _, err := l.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	payloads := testPayloads(20)
+	appendAll(t, l, payloads)
+	if st := l.Stats(); st.Appends != 20 || st.AppendErrors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	rec, err := Open(store).Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Truncated || rec.CheckpointCorrupt || rec.Checkpoint != nil {
+		t.Fatalf("clean log recovered as %+v", rec)
+	}
+	wantRecords(t, rec.Records, payloads)
+}
+
+// TestAppendSyncsEveryRecord: the append path fsyncs per record — the
+// property the zero-acked-loss contract stands on.
+func TestAppendSyncsEveryRecord(t *testing.T) {
+	store := NewMemStore()
+	l := Open(store)
+	appendAll(t, l, testPayloads(5))
+	if store.Syncs() < 5 {
+		t.Fatalf("5 appends issued only %d syncs", store.Syncs())
+	}
+}
+
+// TestCheckpointCompacts: a checkpoint swap makes the snapshot durable,
+// truncates the log, and recovery returns the snapshot plus only the
+// records appended after it.
+func TestCheckpointCompacts(t *testing.T) {
+	store := NewMemStore()
+	l := Open(store)
+	appendAll(t, l, testPayloads(10))
+	preCheckpoint := store.Size(logName)
+	if err := l.Checkpoint([]byte("snapshot-state")); err != nil {
+		t.Fatal(err)
+	}
+	if got := store.Size(logName); got != 0 {
+		t.Fatalf("log holds %d bytes after checkpoint (was %d); compaction did not happen", got, preCheckpoint)
+	}
+	tail := [][]byte{[]byte("after-1"), []byte("after-2")}
+	appendAll(t, l, tail)
+
+	rec, err := Open(store).Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Checkpoint, []byte("snapshot-state")) {
+		t.Fatalf("checkpoint = %q", rec.Checkpoint)
+	}
+	wantRecords(t, rec.Records, tail)
+	if st := l.Stats(); st.Checkpoints != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestTornWriteTruncates: a seeded torn write — the file cut at an
+// arbitrary byte offset inside the last record — loses exactly that
+// record; the prefix survives and the truncation is reported.
+func TestTornWriteTruncates(t *testing.T) {
+	rng := netsim.Stream(7, "wal.test.torn")
+	for trial := 0; trial < 20; trial++ {
+		store := NewMemStore()
+		l := Open(store)
+		payloads := testPayloads(8)
+		appendAll(t, l, payloads)
+		full := store.Size(logName)
+		lastLen := int64(headerSize + len(payloads[7]))
+		// Cut somewhere strictly inside the final record's frame.
+		cut := full - 1 - rng.Int63n(lastLen-1)
+		if !store.Truncate(logName, cut) {
+			t.Fatalf("trial %d: truncate at %d of %d failed", trial, cut, full)
+		}
+
+		rec, err := Open(store).Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Truncated {
+			t.Fatalf("trial %d: torn tail at %d not reported", trial, cut)
+		}
+		wantRecords(t, rec.Records, payloads[:7])
+		if rec.ValidBytes != full-lastLen {
+			t.Fatalf("trial %d: valid prefix %d, want %d", trial, rec.ValidBytes, full-lastLen)
+		}
+	}
+}
+
+// TestBitFlipTruncates: a seeded single-bit flip anywhere in the log is
+// detected (CRC, length desync, or oversized length) and decoding stops
+// at or before the damaged record — never a panic, never a corrupt
+// record surfaced.
+func TestBitFlipTruncates(t *testing.T) {
+	rng := netsim.Stream(11, "wal.test.bitflip")
+	for trial := 0; trial < 50; trial++ {
+		store := NewMemStore()
+		l := Open(store)
+		payloads := testPayloads(8)
+		appendAll(t, l, payloads)
+		full := store.Size(logName)
+		off := rng.Int63n(full)
+		if !store.FlipBit(logName, off, uint(rng.Intn(8))) {
+			t.Fatalf("trial %d: flip at %d failed", trial, off)
+		}
+
+		rec, err := Open(store).Recover()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Truncated {
+			t.Fatalf("trial %d: flipped bit at byte %d went undetected", trial, off)
+		}
+		// Every surfaced record must be one of the originals, in order:
+		// the flip can only shorten the valid prefix, never corrupt it.
+		if len(rec.Records) >= len(payloads) {
+			t.Fatalf("trial %d: %d records survived a corrupting flip", trial, len(rec.Records))
+		}
+		wantRecords(t, rec.Records, payloads[:len(rec.Records)])
+	}
+}
+
+// TestFailedFsync: an armed fsync failure surfaces as an append error
+// and is counted; the log keeps accepting appends afterwards.
+func TestFailedFsync(t *testing.T) {
+	store := NewMemStore()
+	l := Open(store)
+	appendAll(t, l, testPayloads(3))
+	store.FailNextSyncs(1)
+	if err := l.Append([]byte("doomed")); err == nil {
+		t.Fatal("append with failing fsync reported success")
+	}
+	if err := l.Append([]byte("alive-again")); err != nil {
+		t.Fatalf("append after fsync failure: %v", err)
+	}
+	st := l.Stats()
+	if st.AppendErrors != 1 || st.Appends != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCorruptCheckpointReported: a bit-flipped checkpoint is refused
+// (never served) and reported, while the log still replays.
+func TestCorruptCheckpointReported(t *testing.T) {
+	store := NewMemStore()
+	l := Open(store)
+	if err := l.Checkpoint([]byte("good-snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, [][]byte{[]byte("tail")})
+	if !store.FlipBit(checkpointName, headerSize+2, 3) {
+		t.Fatal("flip failed")
+	}
+	rec, err := Open(store).Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.CheckpointCorrupt || rec.Checkpoint != nil {
+		t.Fatalf("corrupt checkpoint recovered as %+v", rec)
+	}
+	wantRecords(t, rec.Records, [][]byte{[]byte("tail")})
+}
+
+// TestCrashBetweenSwapAndTruncate: the checkpoint swap's worst crash
+// point — new checkpoint durable, old log not yet truncated — replays
+// records the snapshot already covers, which the caller's restore path
+// deduplicates. Recovery itself must surface both cleanly.
+func TestCrashBetweenSwapAndTruncate(t *testing.T) {
+	store := NewMemStore()
+	// Build the post-crash image by hand: a valid checkpoint plus a log
+	// whose records predate it.
+	ck, err := store.Create(checkpointName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Write(appendRecord(nil, []byte("snapshot")))
+	ck.Close()
+	lg, err := store.Create(logName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Write(appendRecord(nil, []byte("pre-swap-record")))
+	lg.Close()
+
+	rec, err := Open(store).Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Checkpoint, []byte("snapshot")) || rec.Truncated {
+		t.Fatalf("recovered %+v", rec)
+	}
+	wantRecords(t, rec.Records, [][]byte{[]byte("pre-swap-record")})
+}
+
+// TestDirStore: the same round trip over real os files.
+func TestDirStore(t *testing.T) {
+	store, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Open(store)
+	payloads := testPayloads(6)
+	appendAll(t, l, payloads)
+	if err := l.Checkpoint([]byte("dir-snap")); err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, l, [][]byte{[]byte("dir-tail")})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := Open(store).Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rec.Checkpoint, []byte("dir-snap")) {
+		t.Fatalf("checkpoint = %q", rec.Checkpoint)
+	}
+	wantRecords(t, rec.Records, [][]byte{[]byte("dir-tail")})
+
+	if _, err := store.Create("../escape"); err == nil {
+		t.Fatal("path traversal accepted")
+	}
+}
